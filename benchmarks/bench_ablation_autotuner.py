@@ -1,0 +1,86 @@
+"""Ablation — the Eq. 5 auto-tuner's knobs.
+
+Sweeps the switch damping (the multiplier on Eq. 5's R/2 step) and the
+PESM tracking window, isolating the remote-switching contribution the
+paper attributes to the Utilization Gap Tracker design.
+"""
+
+from conftest import run_once, save_artifact
+
+from repro.accel import ArchConfig, SpmmJob, simulate_spmm
+from repro.analysis.report import ascii_table
+from repro.datasets import load_dataset
+
+DAMPINGS = (0.25, 0.5, 1.0, 2.0)
+WINDOWS = (1, 2, 4)
+
+
+def sweep_autotuner(*, preset, seed, n_pes):
+    ds = load_dataset("nell", preset, seed=seed)
+    job = SpmmJob(
+        name="A(XW)",
+        row_nnz=ds.adjacency.row_nnz(),
+        n_rounds=ds.feature_dims[1],
+    )
+    rows = []
+    static = simulate_spmm(job, ArchConfig(n_pes=n_pes, hop=2))
+    rows.append(
+        {
+            "variant": "no-remote",
+            "damping": 0.0,
+            "window": 0,
+            "total_cycles": static.total_cycles,
+            "converged_round": -1,
+        }
+    )
+    for damping in DAMPINGS:
+        for window in WINDOWS:
+            config = ArchConfig(
+                n_pes=n_pes,
+                hop=2,
+                remote_switching=True,
+                switch_damping=damping,
+                tracking_window=window,
+                convergence_patience=3,
+            )
+            result = simulate_spmm(job, config)
+            rows.append(
+                {
+                    "variant": f"d={damping} w={window}",
+                    "damping": damping,
+                    "window": window,
+                    "total_cycles": result.total_cycles,
+                    "converged_round": result.converged_round or -1,
+                }
+            )
+    text = ascii_table(
+        ["variant", "cycles", "converged at round"],
+        [
+            [r["variant"], r["total_cycles"], r["converged_round"]]
+            for r in rows
+        ],
+        title="Ablation — Eq. 5 damping and PESM tracking window (Nell A-SPMM)",
+    )
+    return rows, text
+
+
+def test_ablation_autotuner(benchmark, bench_preset, bench_seed, bench_pes):
+    rows, text = run_once(
+        benchmark, sweep_autotuner,
+        preset=bench_preset, seed=bench_seed, n_pes=bench_pes,
+    )
+    save_artifact("ablation_autotuner", rows, text)
+
+    static = rows[0]["total_cycles"]
+    tuned = [r for r in rows if r["variant"] != "no-remote"]
+    # Remote switching helps at every setting on the clustered graph.
+    assert all(r["total_cycles"] <= static for r in tuned)
+    # The paper's setting (damping 1.0, window 2) is competitive with
+    # the best setting in the sweep — the defaults are sane. (The sweep
+    # regularly finds a gentler damping a few percent better; the paper
+    # itself notes the step calculation is approximated in hardware.)
+    best = min(r["total_cycles"] for r in tuned)
+    paper_setting = next(
+        r for r in tuned if r["damping"] == 1.0 and r["window"] == 2
+    )
+    assert paper_setting["total_cycles"] <= best * 1.30

@@ -1,0 +1,75 @@
+"""Ablation — exact vs hardware-efficient Eq. 5 evaluation.
+
+Sec. 4.2: "To reduce the hardware cost of division and multiplication
+in calculating Gi/G1 x (R/2), we also design a hardware-efficient
+approximation approach". This bench quantifies the cost of that
+approximation (shift-based power-of-two ratios) against the exact
+arithmetic on every dataset's layer-1 A-SPMM.
+"""
+
+from conftest import run_once, save_artifact
+
+from repro.accel import ArchConfig, SpmmJob, simulate_spmm
+from repro.analysis.report import ascii_table
+from repro.datasets import dataset_names, load_dataset
+
+
+def sweep_eq5(*, preset, seed, n_pes):
+    rows = []
+    for name in dataset_names():
+        ds = load_dataset(name, preset, seed=seed)
+        hop = 2 if name == "nell" else 1
+        job = SpmmJob(
+            name="A(XW)",
+            row_nnz=ds.adjacency.row_nnz(),
+            n_rounds=ds.feature_dims[1],
+        )
+        static = simulate_spmm(job, ArchConfig(n_pes=n_pes, hop=hop))
+        exact = simulate_spmm(
+            job, ArchConfig(n_pes=n_pes, hop=hop, remote_switching=True)
+        )
+        approx = simulate_spmm(
+            job,
+            ArchConfig(
+                n_pes=n_pes, hop=hop, remote_switching=True,
+                eq5_approximate=True,
+            ),
+        )
+        rows.append(
+            {
+                "dataset": name,
+                "static_cycles": static.total_cycles,
+                "exact_cycles": exact.total_cycles,
+                "approx_cycles": approx.total_cycles,
+                "approx_penalty": approx.total_cycles / exact.total_cycles,
+            }
+        )
+    text = ascii_table(
+        ["dataset", "no-remote", "exact Eq.5", "shift Eq.5", "penalty"],
+        [
+            [
+                r["dataset"], r["static_cycles"], r["exact_cycles"],
+                r["approx_cycles"], f"{r['approx_penalty']:.3f}x",
+            ]
+            for r in rows
+        ],
+        title="Ablation — exact vs shift-approximated Eq. 5 (layer-1 A-SPMM)",
+    )
+    return rows, text
+
+
+def test_ablation_eq5_approx(benchmark, bench_preset, bench_seed, bench_pes):
+    rows, text = run_once(
+        benchmark, sweep_eq5,
+        preset=bench_preset, seed=bench_seed, n_pes=bench_pes,
+    )
+    save_artifact("ablation_eq5_approx", rows, text)
+
+    for row in rows:
+        # The approximation never loses the remote-switching benefit...
+        assert row["approx_cycles"] <= row["static_cycles"] * 1.001, (
+            row["dataset"]
+        )
+        # ...and costs at most a third over the exact arithmetic
+        # (power-of-two ratio rounding is within sqrt(2) per step).
+        assert row["approx_penalty"] <= 1.35, row["dataset"]

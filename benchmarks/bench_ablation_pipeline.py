@@ -1,0 +1,62 @@
+"""Ablation — inter-SPMM pipelining (Fig. 8) on vs off.
+
+The paper claims two benefits: extra parallelism (sync gaps of one SPMM
+filled by the other's queued work) and avoiding off-chip XW buffering.
+This bench quantifies the first: the benefit is largest where workloads
+are imbalanced, and near zero for balanced ones (a balanced pipeline is
+work-bound either way).
+"""
+
+from conftest import run_once, save_artifact
+
+from repro.accel import ArchConfig, GcnAccelerator
+from repro.analysis.report import ascii_table
+from repro.datasets import dataset_names, load_dataset
+
+
+def sweep_pipeline(*, preset, seed, n_pes):
+    rows = []
+    for name in dataset_names():
+        ds = load_dataset(name, preset, seed=seed)
+        on = GcnAccelerator(
+            ds, ArchConfig(n_pes=n_pes, hop=0, pipeline_spmm=True)
+        ).run()
+        off = GcnAccelerator(
+            ds, ArchConfig(n_pes=n_pes, hop=0, pipeline_spmm=False)
+        ).run()
+        rows.append(
+            {
+                "dataset": name,
+                "pipelined_cycles": on.total_cycles,
+                "serial_cycles": off.total_cycles,
+                "speedup": off.total_cycles / on.total_cycles,
+            }
+        )
+    text = ascii_table(
+        ["dataset", "pipelined", "serial", "speedup"],
+        [
+            [
+                r["dataset"], r["pipelined_cycles"], r["serial_cycles"],
+                f"{r['speedup']:.2f}x",
+            ]
+            for r in rows
+        ],
+        title="Ablation — Fig. 8 inter-SPMM pipelining (baseline engine)",
+    )
+    return rows, text
+
+
+def test_ablation_pipeline(benchmark, bench_preset, bench_seed, bench_pes):
+    rows, text = run_once(
+        benchmark, sweep_pipeline,
+        preset=bench_preset, seed=bench_seed, n_pes=bench_pes,
+    )
+    save_artifact("ablation_pipeline", rows, text)
+
+    # Pipelining never hurts, and never fabricates throughput beyond
+    # the shared-array work bound (speedup capped around 2x by
+    # construction: two jobs fully overlapped at best).
+    assert all(0.999 <= r["speedup"] <= 2.2 for r in rows)
+    # Somewhere it pays substantially — the sync gaps of an
+    # underutilized A-SPMM are filled with queued XW work.
+    assert max(r["speedup"] for r in rows) > 1.2

@@ -1,0 +1,69 @@
+"""Micro-benchmark — the detailed cycle-level engine.
+
+Times the event-driven simulator on a small power-law SPMM and checks
+its verdicts track the fast model (the validation the rest of the suite
+relies on). Also doubles as a regression guard on simulator throughput.
+"""
+
+import numpy as np
+
+from conftest import run_once, save_artifact
+
+from repro.accel import ArchConfig, SpmmJob, simulate_spmm
+from repro.analysis.report import ascii_table
+from repro.hw import simulate_spmm_detailed
+from repro.sparse import CooMatrix
+
+
+def run_detailed(*, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(64, 48))
+    dense[rng.random(dense.shape) > 0.15] = 0.0
+    dense[:3, :] = rng.normal(size=(3, 48))  # hot rows
+    a = CooMatrix.from_dense(dense)
+    b = rng.normal(size=(48, 4))
+    rows = []
+    for hop in (0, 1, 2):
+        result, stats = simulate_spmm_detailed(
+            a, b, n_pes=16, hop=hop, mac_latency=5
+        )
+        assert np.allclose(result, dense @ b)
+        job = SpmmJob(name="bench", row_nnz=a.row_nnz(), n_rounds=4)
+        fast = simulate_spmm(
+            job, ArchConfig(n_pes=16, hop=hop, drain_cycles=0)
+        )
+        rows.append(
+            {
+                "hop": hop,
+                "detailed_cycles": stats.cycles,
+                "fast_cycles": fast.total_cycles,
+                "detailed_util": stats.utilization,
+                "stall_events": stats.stall_events,
+            }
+        )
+    text = ascii_table(
+        ["hop", "detailed cycles", "fast-model cycles", "util", "RaW stalls"],
+        [
+            [
+                r["hop"], r["detailed_cycles"], r["fast_cycles"],
+                f"{r['detailed_util']:.1%}", r["stall_events"],
+            ]
+            for r in rows
+        ],
+        title="Detailed engine vs fast model (64x48 power-law SPMM, 16 PEs)",
+    )
+    return rows, text
+
+
+def test_detailed_engine(benchmark, bench_seed):
+    rows, text = run_once(benchmark, run_detailed, seed=bench_seed)
+    save_artifact("detailed_engine", rows, text)
+
+    # Sharing helps in both models; verdicts agree.
+    assert rows[1]["detailed_cycles"] < rows[0]["detailed_cycles"]
+    assert rows[1]["fast_cycles"] < rows[0]["fast_cycles"]
+    # The detailed engine never beats the fast model's bound by more
+    # than warm-up slack, and stays within a small factor above it.
+    for r in rows:
+        assert r["detailed_cycles"] >= 0.6 * r["fast_cycles"]
+        assert r["detailed_cycles"] <= 3.0 * r["fast_cycles"] + 200

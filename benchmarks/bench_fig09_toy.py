@@ -1,0 +1,62 @@
+"""Fig. 9 — the paper's illustrative 8-PE imbalance example.
+
+Claims checked, using the paper's own toy numbers: balanced = 2 cycles,
+local imbalance = 5, remote imbalance = 7; local sharing repairs the
+local pattern, remote switching the remote one.
+"""
+
+from conftest import run_once, save_artifact
+
+from repro.analysis.report import ascii_table
+from repro.analysis.toy import (
+    fig9_local_loads,
+    fig9_remote_loads,
+    toy_after_remote_switching,
+    toy_round_cycles,
+)
+
+
+def build_toy_table():
+    cases = {
+        "local imbalance (Fig. 9A)": fig9_local_loads(),
+        "remote imbalance (Fig. 9B)": fig9_remote_loads(),
+    }
+    rows = []
+    for label, loads in cases.items():
+        switched = toy_after_remote_switching(loads)
+        rows.append(
+            {
+                "case": label,
+                "no rebalancing": toy_round_cycles(loads),
+                "1-hop sharing": toy_round_cycles(loads, hop=1),
+                "2-hop sharing": toy_round_cycles(loads, hop=2),
+                "after remote switching": toy_round_cycles(switched),
+            }
+        )
+    text = ascii_table(
+        ["case", "none", "1-hop", "2-hop", "remote-switched"],
+        [
+            [
+                r["case"], r["no rebalancing"], r["1-hop sharing"],
+                r["2-hop sharing"], r["after remote switching"],
+            ]
+            for r in rows
+        ],
+        title="Fig. 9 toy — round delay in cycles (ideal = 2)",
+    )
+    return rows, text
+
+
+def test_fig09_toy(benchmark):
+    rows, text = run_once(benchmark, build_toy_table)
+    save_artifact("fig09_toy", rows, text)
+
+    local, remote = rows
+    # The paper's exact numbers.
+    assert local["no rebalancing"] == 5
+    assert remote["no rebalancing"] == 7
+    # Local sharing repairs the local pattern...
+    assert local["2-hop sharing"] == 2
+    # ...but not the remote one; switching finishes the job.
+    assert remote["1-hop sharing"] >= 4
+    assert remote["after remote switching"] == 2

@@ -1,0 +1,36 @@
+"""Fig. 13 — row-nnz distributions of Citeseer, Nell and Reddit.
+
+Claims checked: all three are skewed; Nell is by far the most
+concentrated ("the non-zeros are quite clustered"); Reddit, while huge,
+is comparatively balanced ("Reddit by itself is already very balanced").
+"""
+
+from conftest import run_once, save_artifact
+
+from repro.analysis import fig_nnz_distribution
+from repro.datasets import load_dataset
+from repro.sparse import distribution_stats
+
+
+def test_fig13_rownnz(benchmark, bench_preset, bench_seed):
+    rows, text = run_once(
+        benchmark,
+        fig_nnz_distribution,
+        preset=bench_preset,
+        seed=bench_seed,
+        datasets=["citeseer", "nell", "reddit"],
+    )
+    save_artifact("fig13_rownnz", rows, text)
+
+    stats = {}
+    for name in ("citeseer", "nell", "reddit"):
+        ds = load_dataset(name, bench_preset, seed=bench_seed)
+        stats[name] = distribution_stats(ds.adjacency.row_nnz())
+
+    # Nell is the most skewed on every axis.
+    assert stats["nell"].gini > stats["citeseer"].gini
+    assert stats["nell"].gini > stats["reddit"].gini
+    assert stats["nell"].max_over_mean > 100.0
+    # Reddit is the most balanced of the three relative to its mean.
+    assert stats["reddit"].cv < stats["nell"].cv
+    assert stats["reddit"].cv < stats["citeseer"].cv

@@ -1,0 +1,64 @@
+"""Fig. 14 A-E — overall inference delay and PE utilization, 5 designs.
+
+Claims checked: rebalancing monotonically improves cycles and
+utilization (baseline -> A -> B and C -> D); the full design reaches
+high utilization everywhere; Nell gains the most (its baseline is the
+most starved); Reddit starts near-balanced so gains are small.
+"""
+
+from conftest import run_once, save_artifact
+
+from repro.accel.designs import DESIGN_NAMES
+from repro.analysis import fig14_overall
+
+
+def test_fig14_overall(benchmark, bench_preset, bench_seed, bench_pes):
+    rows, text = run_once(
+        benchmark,
+        fig14_overall,
+        preset=bench_preset,
+        seed=bench_seed,
+        n_pes=bench_pes,
+    )
+    save_artifact("fig14_overall", rows, text)
+
+    table = {(r["dataset"], r["design"]): r for r in rows}
+    datasets = sorted({r["dataset"] for r in rows})
+
+    for name in datasets:
+        base = table[(name, "baseline")]
+        best = table[(name, "design_d")]
+        # Rebalanced designs never lose to the baseline.
+        for design in DESIGN_NAMES[1:]:
+            assert (
+                table[(name, design)]["total_cycles"]
+                <= base["total_cycles"]
+            ), (name, design)
+        # The full design reaches high utilization (paper: 89-99%).
+        assert best["utilization"] > 0.80, name
+        # Wider sharing never hurts: B <= A, D <= C in cycles.
+        assert (
+            table[(name, "design_b")]["total_cycles"]
+            <= table[(name, "design_a")]["total_cycles"]
+        )
+        assert (
+            table[(name, "design_d")]["total_cycles"]
+            <= table[(name, "design_c")]["total_cycles"]
+        )
+
+    # Baseline utilization ordering: Nell lowest, Reddit highest.
+    base_util = {
+        name: table[(name, "baseline")]["utilization"] for name in datasets
+    }
+    assert base_util["nell"] == min(base_util.values())
+    assert base_util["reddit"] == max(base_util.values())
+
+    # Nell gains the most; Reddit the least (paper: 7.2x vs ~1.07x).
+    gains = {
+        name: table[(name, "design_d")]["speedup_vs_baseline"]
+        for name in datasets
+    }
+    assert gains["nell"] == max(gains.values())
+    assert gains["reddit"] == min(gains.values())
+    assert gains["nell"] > 2.5
+    assert gains["reddit"] < 1.3

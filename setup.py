@@ -1,0 +1,12 @@
+"""Legacy setuptools shim.
+
+This environment is offline and lacks the ``wheel`` package, so PEP 660
+editable installs fail with ``invalid command 'bdist_wheel'``. Keeping a
+``setup.py`` lets ``pip install -e . --no-build-isolation`` (and plain
+``python setup.py develop``) work with the stock setuptools.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

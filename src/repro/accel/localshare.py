@@ -1,0 +1,152 @@
+"""Dynamic local sharing: the achievable makespan bound (Sec. 4.1).
+
+A PE may push an incoming task to a neighbour within ``hop`` positions
+whose task queue is shorter; the result is returned to the owner's ACC.
+Tasks are single multiply-accumulates, so the fluid (fractional)
+relaxation is essentially exact, and the minimum achievable round
+makespan has a closed form by a Hall-type argument on the 1-D PE chain:
+
+    T*(h) = max over row-blocks [i..j] of
+            ceil( sum(W[i..j]) / #receivers([i..j], h) )
+
+where ``#receivers`` counts PEs within ``h`` of the block (clipped at
+the array edges). Any window violating this is a certificate that no
+schedule beats T*; conversely a water-filling schedule achieves it.
+
+Boundary windows are dominated by prefix/suffix windows (widening a
+clipped window to the edge only adds work without adding receivers), so
+the implementation evaluates: all prefix windows, all suffix windows,
+and all interior windows per length — each fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def share_makespan(loads, hop, *, efficiency=1.0):
+    """Minimum cycles for one round under ``hop``-local sharing.
+
+    ``loads`` is the per-PE owned work for this round. ``efficiency``
+    models the online heuristic's distance from the ideal bound
+    (1.0 = ideal). Returns an ``int`` cycle count.
+    """
+    loads = np.asarray(loads, dtype=np.int64)
+    if loads.ndim != 1 or loads.size == 0:
+        raise ConfigError("loads must be a non-empty 1-D array")
+    if hop < 0:
+        raise ConfigError(f"hop must be >= 0, got {hop}")
+    if not 0.0 < efficiency <= 1.0:
+        raise ConfigError(f"efficiency must be in (0, 1], got {efficiency}")
+    if hop == 0:
+        ideal = int(loads.max())
+    else:
+        ideal = int(max(share_window_bounds(loads, hop)))
+    return int(np.ceil(ideal / efficiency))
+
+
+def share_window_bounds(loads, hop):
+    """The three families of Hall lower bounds; the max is the makespan.
+
+    Returns ``(interior, prefix, suffix)`` bounds as Python ints. Exposed
+    separately for the property tests, which cross-check against a
+    brute-force evaluation of every window.
+    """
+    loads = np.asarray(loads, dtype=np.int64)
+    n = loads.size
+    hop = int(hop)
+    cumsum = np.concatenate(([0], np.cumsum(loads)))
+
+    # Prefix windows [0..j]: receivers are [0 .. min(j + hop, n - 1)].
+    j = np.arange(n)
+    prefix_recv = np.minimum(j + hop, n - 1) + 1
+    prefix_bound = int(np.max(_ceil_div(cumsum[1:], prefix_recv)))
+
+    # Suffix windows [i..n-1]: receivers are [max(i - hop, 0) .. n-1].
+    i = np.arange(n)
+    suffix_work = cumsum[n] - cumsum[:-1]
+    suffix_recv = n - np.maximum(i - hop, 0)
+    suffix_bound = int(np.max(_ceil_div(suffix_work, suffix_recv)))
+
+    # Interior windows of each length L: receivers = L + 2*hop (no
+    # clipping; clipped windows are dominated by prefix/suffix above).
+    interior_bound = 0
+    for length in range(1, n + 1):
+        window_sums = cumsum[length:] - cumsum[:-length]
+        if window_sums.size == 0:
+            break
+        best = int(window_sums.max())
+        receivers = min(length + 2 * hop, n)
+        bound = -(-best // receivers)
+        if bound > interior_bound:
+            interior_bound = bound
+        # No longer window can beat the running best once even the total
+        # work divided by the next window's receiver count falls below it.
+        next_receivers = min(length + 1 + 2 * hop, n)
+        if -(-int(cumsum[n]) // next_receivers) <= interior_bound:
+            break
+    return interior_bound, prefix_bound, suffix_bound
+
+
+def share_effective_loads(loads, hop):
+    """A feasible per-PE executed-work vector at the optimal makespan.
+
+    Earliest-deadline-first transport: every PE's load is a "job"
+    releasable at receiver ``p - hop`` with deadline ``p + hop``; walking
+    receivers left to right and serving the earliest-deadline pending
+    job is the classic optimal schedule for interval windows, so it
+    always succeeds at the Hall-bound makespan. Used by the area model
+    to size task queues and by tests to certify the bound is achievable.
+    Conservation holds exactly: ``sum(effective) == sum(loads)``.
+    """
+    import heapq
+
+    loads = np.asarray(loads, dtype=np.float64)
+    n = loads.size
+    cap = float(share_makespan(loads, hop))
+    effective = np.zeros(n)
+    pending = []  # heap of [deadline, sender, remaining]
+    for receiver in range(n):
+        # Jobs become available once the receiver enters their window.
+        sender = receiver + hop
+        if sender < n and loads[sender] > 0:
+            heapq.heappush(
+                pending, [min(sender + hop, n - 1), sender, loads[sender]]
+            )
+        if receiver == 0:
+            for early in range(0, min(hop, n)):
+                if loads[early] > 0:
+                    heapq.heappush(
+                        pending,
+                        [min(early + hop, n - 1), early, loads[early]],
+                    )
+        capacity = cap
+        while capacity > 1e-12 and pending:
+            deadline, _sender, remaining = pending[0]
+            if deadline < receiver:
+                break  # cannot happen at a feasible cap
+            take = min(capacity, remaining)
+            effective[receiver] += take
+            capacity -= take
+            pending[0][2] -= take
+            if pending[0][2] <= 1e-12:
+                heapq.heappop(pending)
+        if pending and pending[0][0] <= receiver and pending[0][2] > 1e-9:
+            raise AssertionError(
+                f"EDF transport failed at receiver {receiver}: "
+                f"{pending[0][2]} work past its deadline (cap={cap})"
+            )
+    if pending:
+        residue = sum(item[2] for item in pending)
+        if residue > 1e-6:
+            raise AssertionError(
+                f"EDF transport left {residue} unplaced work (cap={cap})"
+            )
+    return effective
+
+
+def _ceil_div(numerator, denominator):
+    """Elementwise ceiling division for non-negative integer arrays."""
+    return -(-numerator // denominator)

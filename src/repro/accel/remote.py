@@ -1,0 +1,192 @@
+"""Dynamic remote switching: the Eq. 5 auto-tuner (paper Sec. 4.2).
+
+Hardware recap. The PE Status Monitor (PESM) watches the per-PE task
+queues through a MUX tree: the PE group whose "empty" signals trigger
+first in a round is the *coldspot*; the PE still running when every
+other queue has drained is the *hotspot*. The Utilization Gap Tracker
+then computes how many rows to exchange between the pair:
+
+    N_i = 0                                   (i = 1)
+    N_i = N_{i-1} + G_i / G_1 * (R / 2)       (i > 1)        (Eq. 5)
+
+with ``G_i`` the round-``i`` workload gap between hotspot and coldspot,
+``G_1`` the initial gap and ``R`` the equal-partition workload (rows per
+PE). The Shuffling Lookup Table picks which rows move, and the Shuffling
+Switches apply the new destinations in the next round. The PESM tracks a
+bounded number of PE-tuples at once (``tracking_window``, two in the
+paper), updating each tracked tuple per round until the map converges;
+the converged map is reused for all remaining rounds.
+
+This module reproduces that control loop exactly at row granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accel.workload import RowAssignment
+from repro.errors import ConfigError
+
+
+@dataclass
+class TrackedTuple:
+    """One PESM slot: a (hotspot, coldspot) pair under Eq. 5 tracking."""
+
+    hot: int
+    cold: int
+    n_switched: float = 0.0
+    rounds_tracked: int = 0
+
+    @property
+    def key(self):
+        """Identity of the tuple (order matters: hot vs cold roles)."""
+        return (self.hot, self.cold)
+
+
+class RemoteAutoTuner:
+    """Runtime row-migration controller for one SPMM job.
+
+    Drive it with :meth:`observe_round` once per processed column of the
+    dense operand; it mutates the shared :class:`RowAssignment` in place,
+    exactly like the Shuffling Switches retarget rows between rounds.
+    Once :attr:`converged` is True the map is frozen (the paper reuses
+    the best configuration for the remaining columns) — further calls
+    are no-ops.
+    """
+
+    def __init__(self, assignment, *, rows_per_pe_equal, tracking_window=2,
+                 damping=1.0, patience=2, approximate=False):
+        if not isinstance(assignment, RowAssignment):
+            raise ConfigError(
+                "assignment must be a RowAssignment, got "
+                f"{type(assignment).__name__}"
+            )
+        if rows_per_pe_equal <= 0:
+            raise ConfigError(
+                f"rows_per_pe_equal must be > 0, got {rows_per_pe_equal}"
+            )
+        self.assignment = assignment
+        self.rows_per_pe_equal = float(rows_per_pe_equal)
+        self.tracking_window = int(tracking_window)
+        self.damping = float(damping)
+        self.patience = int(patience)
+        self.approximate = bool(approximate)
+        self.round_index = 0
+        self.initial_gap = None
+        self.converged = False
+        self.converged_round = None
+        self.tracked = []
+        self.gap_history = []
+        self.makespan_history = []
+        self._best_makespan = None
+        self._best_owner = None
+        self._stall_rounds = 0
+
+    def observe_round(self, makespan):
+        """Advance one auto-tuning round.
+
+        ``makespan`` is the measured cycle count of the round just
+        completed (what the PESM's hardware counters see). Returns True
+        when a switch was applied this round.
+        """
+        if self.converged:
+            return False
+        self.round_index += 1
+        loads = self.assignment.loads
+        hot = int(np.argmax(loads))
+        cold = int(np.argmin(loads))
+        gap = int(loads[hot] - loads[cold])
+        self.gap_history.append(gap)
+        self.makespan_history.append(int(makespan))
+
+        if self._best_makespan is None or makespan < self._best_makespan:
+            self._best_makespan = makespan
+            self._best_owner = self.assignment.snapshot()
+            self._stall_rounds = 0
+        else:
+            self._stall_rounds += 1
+
+        if self.round_index == 1:
+            # Round 1 only profiles: Eq. 5 gives N_1 = 0.
+            self.initial_gap = max(gap, 1)
+            return False
+
+        if self._stall_rounds >= self.patience:
+            self._freeze()
+            return False
+        if gap == 0:
+            self._freeze()
+            return False
+
+        slot = self._find_or_create_slot(hot, cold)
+        if self.approximate:
+            step = _shift_approx_step(
+                gap, self.initial_gap, self.rows_per_pe_equal
+            )
+        else:
+            step = (gap / self.initial_gap) * (self.rows_per_pe_equal / 2.0)
+        new_total = slot.n_switched + self.damping * step
+        delta = int(round(new_total)) - int(round(slot.n_switched))
+        slot.n_switched = new_total
+        slot.rounds_tracked += 1
+        if delta <= 0:
+            return False
+        # Eq. 5 budgets how many rows may move; the SLT stops selecting
+        # once the transferred work would equalize the pair (gap / 2),
+        # so a switch narrows the gap instead of inverting it.
+        moved = self.assignment.swap_rows(
+            hot, cold, delta, work_target=gap / 2.0
+        )
+        return moved > 0
+
+    def _find_or_create_slot(self, hot, cold):
+        """Locate the tracked tuple for (hot, cold), evicting the oldest."""
+        for slot in self.tracked:
+            if slot.key == (hot, cold):
+                return slot
+        slot = TrackedTuple(hot=hot, cold=cold)
+        self.tracked.append(slot)
+        if len(self.tracked) > self.tracking_window:
+            self.tracked.pop(0)
+        return slot
+
+    def freeze_now(self):
+        """Force convergence (used when the workload ends mid-tuning)."""
+        self._freeze()
+
+    def _freeze(self):
+        """Stop tuning and restore the best configuration seen so far."""
+        self.converged = True
+        self.converged_round = self.round_index
+        if self._best_owner is not None:
+            current = self.assignment.snapshot()
+            if not np.array_equal(current, self._best_owner):
+                # Rebuild loads from the best map (cheap: one bincount).
+                best = RowAssignment(
+                    self.assignment.row_nnz,
+                    self.assignment.n_pes,
+                    owner=self._best_owner,
+                )
+                self.assignment.owner = best.owner
+                self.assignment.loads = best.loads
+
+
+def _shift_approx_step(gap, initial_gap, rows_per_pe):
+    """The paper's hardware-efficient Eq. 5 evaluation.
+
+    Computing ``G_i / G_1 * (R / 2)`` needs a divider and a multiplier;
+    the paper notes "a hardware-efficient approximation approach" that
+    avoids both. We model the natural shift-based scheme: round the gap
+    ratio to the nearest power of two (a leading-zero-count comparison)
+    and apply it as a shift of ``R / 2``.
+    """
+    import math
+
+    if gap <= 0 or initial_gap <= 0:
+        return 0.0
+    ratio = gap / initial_gap
+    shift = round(math.log2(ratio)) if ratio > 0 else 0
+    approx_ratio = 2.0 ** shift
+    return approx_ratio * (rows_per_pe / 2.0)

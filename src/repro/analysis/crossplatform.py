@@ -1,0 +1,112 @@
+"""Table 3: cross-platform latency and energy comparison.
+
+CPU and GPU latencies come from the calibrated analytic models (see
+:mod:`repro.baselines`); the EIE-like, baseline and AWB rows are
+simulated on the accelerator models. Speedups are reported AWB-relative,
+like the paper's headline numbers (246.7x / 78.9x / 2.7x / 11.0x mean
+speedup over CPU / GPU / baseline / EIE on the published setup).
+"""
+
+from __future__ import annotations
+
+from repro.accel.config import ArchConfig
+from repro.accel.designs import design_config
+from repro.accel.gcnaccel import GcnAccelerator
+from repro.analysis.report import ascii_table, format_quantity
+from repro.baselines.cpu import CpuModel, total_inference_ops
+from repro.baselines.eie import EieLikeModel
+from repro.baselines.energy import PLATFORM_POWER_WATTS
+from repro.baselines.gpu import GpuModel
+from repro.baselines.platforms import PlatformResult
+from repro.datasets.registry import load_dataset
+from repro.datasets.specs import dataset_names
+
+PLATFORM_ORDER = ["cpu", "gpu", "eie", "baseline", "awb"]
+
+
+def table3_crossplatform(*, preset="scaled", seed=7, n_pes=256,
+                         datasets=None):
+    """Build the Table 3 rows; returns ``(rows, rendered_text)``.
+
+    Each row is one (platform, dataset) pair with latency in ms and the
+    energy-efficiency metric, plus AWB's speedup over that platform.
+    """
+    if datasets is None:
+        datasets = dataset_names()
+    cpu = CpuModel()
+    gpu = GpuModel()
+    eie = EieLikeModel(n_pes=n_pes)
+    base_cfg = ArchConfig(n_pes=n_pes)
+
+    rows = []
+    for name in datasets:
+        ds = load_dataset(name, preset, seed=seed)
+        ops = total_inference_ops(ds)
+        results = {
+            "cpu": cpu.evaluate(ds.name, ops),
+            "gpu": gpu.evaluate(ds.name, ops),
+            "eie": eie.evaluate(ds),
+        }
+        baseline_report = GcnAccelerator(
+            ds, design_config("baseline", dataset_name=ds.name, base=base_cfg)
+        ).run()
+        results["baseline"] = PlatformResult(
+            platform="baseline",
+            dataset=ds.name,
+            latency_ms=baseline_report.latency_ms,
+            power_watts=PLATFORM_POWER_WATTS["baseline"],
+        )
+        awb_report = GcnAccelerator(
+            ds, design_config("design_d", dataset_name=ds.name, base=base_cfg)
+        ).run()
+        results["awb"] = PlatformResult(
+            platform="awb",
+            dataset=ds.name,
+            latency_ms=awb_report.latency_ms,
+            power_watts=PLATFORM_POWER_WATTS["awb"],
+        )
+        awb_latency = results["awb"].latency_ms
+        for platform in PLATFORM_ORDER:
+            res = results[platform]
+            rows.append(
+                {
+                    "platform": platform,
+                    "dataset": ds.name,
+                    "latency_ms": res.latency_ms,
+                    "inferences_per_kj": res.inferences_per_kilojoule,
+                    "awb_speedup": res.latency_ms / awb_latency,
+                }
+            )
+    text = ascii_table(
+        ["platform", "dataset", "latency (ms)", "Inference/kJ", "AWB speedup"],
+        [
+            [
+                r["platform"],
+                r["dataset"],
+                f"{r['latency_ms']:.4g}",
+                format_quantity(r["inferences_per_kj"]),
+                f"{r['awb_speedup']:.1f}x",
+            ]
+            for r in rows
+        ],
+        title=(
+            f"Table 3 — cross-platform comparison "
+            f"({preset} presets, {n_pes} PEs)"
+        ),
+    )
+    return rows, text
+
+
+def mean_speedups(rows):
+    """Geometric-mean AWB speedup per platform (the paper's headline)."""
+    from math import exp, log
+
+    by_platform = {}
+    for row in rows:
+        by_platform.setdefault(row["platform"], []).append(
+            row["awb_speedup"]
+        )
+    return {
+        platform: exp(sum(log(s) for s in speedups) / len(speedups))
+        for platform, speedups in by_platform.items()
+    }

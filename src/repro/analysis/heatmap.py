@@ -1,0 +1,87 @@
+"""Per-PE utilization heat strips — the paper's Fig. 10 view.
+
+Fig. 10 explains the rebalancing flow with a heat-map of PE utilization
+"from blue 0% to red 200%". This module renders the same view in ASCII:
+one character per PE, graded by its load relative to the balanced ideal,
+before and after each rebalancing stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.localshare import share_effective_loads
+from repro.accel.remote import RemoteAutoTuner
+from repro.accel.workload import RowAssignment
+from repro.errors import ConfigError
+
+_GRADES = " .:-=+*#%@"
+"""Ten grades from idle (space) to >=2x the ideal load (@)."""
+
+
+def heat_strip(loads, *, ideal=None):
+    """One character per PE: load relative to the balanced ideal.
+
+    ``ideal`` defaults to the mean load; a PE at 0 renders as space, at
+    the ideal as '=', at 2x ideal or more as '@' (the paper's "red").
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.ndim != 1 or loads.size == 0:
+        raise ConfigError("loads must be a non-empty 1-D array")
+    if ideal is None:
+        ideal = max(loads.mean(), 1e-12)
+    if ideal <= 0:
+        raise ConfigError(f"ideal must be > 0, got {ideal}")
+    relative = np.clip(loads / (2.0 * ideal), 0.0, 1.0)
+    indices = np.minimum(
+        (relative * (len(_GRADES) - 1)).round().astype(int),
+        len(_GRADES) - 1,
+    )
+    return "".join(_GRADES[i] for i in indices)
+
+
+def rebalancing_heat_story(row_nnz, n_pes, *, hop=1, max_rounds=20):
+    """The Fig. 10 narrative as a list of labelled heat strips.
+
+    Returns ``[(label, strip), ...]`` showing: the initial equal
+    partition, the view after local sharing, and the converged view
+    after remote switching plus local sharing.
+    """
+    row_nnz = np.asarray(row_nnz, dtype=np.int64)
+    assignment = RowAssignment(row_nnz, n_pes)
+    ideal = max(assignment.total_work / n_pes, 1e-12)
+    story = [("equal partition", heat_strip(assignment.loads, ideal=ideal))]
+    if hop > 0:
+        shared = share_effective_loads(assignment.loads, hop)
+        story.append(
+            (f"{hop}-hop local sharing", heat_strip(shared, ideal=ideal))
+        )
+    tuner = RemoteAutoTuner(
+        assignment, rows_per_pe_equal=max(row_nnz.size / n_pes, 1.0)
+    )
+    from repro.accel.localshare import share_makespan
+
+    for _ in range(max_rounds):
+        if tuner.converged:
+            break
+        tuner.observe_round(share_makespan(assignment.loads, hop))
+    after_switch = assignment.loads
+    story.append(
+        ("after remote switching", heat_strip(after_switch, ideal=ideal))
+    )
+    if hop > 0:
+        final = share_effective_loads(after_switch, hop)
+        story.append(
+            ("switching + sharing", heat_strip(final, ideal=ideal))
+        )
+    return story
+
+
+def render_heat_story(story):
+    """Format a heat story as aligned text lines."""
+    width = max(len(label) for label, _strip in story)
+    lines = [f"{label:<{width}}  |{strip}|" for label, strip in story]
+    legend = (
+        f"{'legend':<{width}}  |{_GRADES}| = 0% .. 200% of ideal load"
+    )
+    return "\n".join(lines + [legend])

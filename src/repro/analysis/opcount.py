@@ -1,0 +1,64 @@
+"""Table 2: multiplication counts under the two computation orders.
+
+For every dataset and layer, counts the multiplications of
+``(A X) W`` versus ``A (X W)`` — the analysis that justifies the
+paper's choice to compute ``X W`` first (Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ascii_table, format_quantity
+from repro.datasets.registry import load_dataset
+from repro.datasets.specs import dataset_names
+from repro.model.ordering import layer_ordering_ops
+
+
+def table2_ordering(*, preset="scaled", seed=7, datasets=None):
+    """Build the Table 2 rows; returns ``(rows, rendered_text)``.
+
+    Rows carry per-layer and total op counts for both orders plus the
+    ratio (how many times more work the rejected order performs).
+    """
+    if datasets is None:
+        datasets = dataset_names()
+    rows = []
+    for name in datasets:
+        ds = load_dataset(name, preset, seed=seed)
+        f1, f2, f3 = ds.feature_dims
+        layer1 = layer_ordering_ops(ds.adjacency, ds.x1_row_nnz, f1, f2)
+        layer2 = layer_ordering_ops(ds.adjacency, ds.x2_row_nnz, f2, f3)
+        rows.append(
+            {
+                "dataset": ds.name,
+                "preset": preset,
+                "l1_ax_w": layer1.ops_ax_w,
+                "l1_a_xw": layer1.ops_a_xw,
+                "l2_ax_w": layer2.ops_ax_w,
+                "l2_a_xw": layer2.ops_a_xw,
+                "total_ax_w": layer1.ops_ax_w + layer2.ops_ax_w,
+                "total_a_xw": layer1.ops_a_xw + layer2.ops_a_xw,
+                "ratio": (layer1.ops_ax_w + layer2.ops_ax_w)
+                / max(layer1.ops_a_xw + layer2.ops_a_xw, 1),
+            }
+        )
+    text = ascii_table(
+        [
+            "dataset", "L1 (AX)W", "L1 A(XW)", "L2 (AX)W", "L2 A(XW)",
+            "ALL (AX)W", "ALL A(XW)", "ratio",
+        ],
+        [
+            [
+                r["dataset"],
+                format_quantity(r["l1_ax_w"]),
+                format_quantity(r["l1_a_xw"]),
+                format_quantity(r["l2_ax_w"]),
+                format_quantity(r["l2_a_xw"]),
+                format_quantity(r["total_ax_w"]),
+                format_quantity(r["total_a_xw"]),
+                f"{r['ratio']:.1f}x",
+            ]
+            for r in rows
+        ],
+        title=f"Table 2 — operations by computation order ({preset} presets)",
+    )
+    return rows, text

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for benchmark output.
+
+The benches print the regenerated tables in a layout close to the
+paper's, using only ASCII so they render identically everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def ascii_table(headers, rows, *, title=None):
+    """Render ``rows`` (sequences) under ``headers`` as an ASCII table."""
+    headers = [str(h) for h in headers]
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(_format_row(headers, widths))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(_format_row(row, widths))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_quantity(value):
+    """Human-scale formatting: 1.33M, 257G, 62.3K — like the paper's cells."""
+    if value is None:
+        return "-"
+    value = float(value)
+    for magnitude, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= magnitude:
+            return f"{value / magnitude:.3g}{suffix}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _format_row(cells, widths):
+    padded = [f" {cell:<{width}} " for cell, width in zip(cells, widths)]
+    return f"|{'|'.join(padded)}|"

@@ -1,0 +1,46 @@
+"""Platform power and energy-efficiency accounting.
+
+The paper measures board-level power with a power meter and reports
+energy as "Graph Inference/kJ". Back-deriving power from its published
+(latency, energy) pairs gives nearly constant per-platform draw, so a
+constant-power model is faithful:
+
+    CPU  (Xeon E5-2698V4):  1 / (1.90e3 /kJ x 3.90 ms)  ~ 135 W
+    GPU  (Tesla P100):      1 / (1.87e3 /kJ x 1.78 ms)  ~ 300 W
+    FPGA baseline:          1 / (1.21e6 /kJ x 0.023 ms) ~ 36 W
+    FPGA EIE-like / AWB:    1 / (2.38e6 /kJ x 0.011 ms) ~ 38 W
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+PLATFORM_POWER_WATTS = {
+    "cpu": 135.0,
+    "gpu": 300.0,
+    "eie": 38.0,
+    "baseline": 36.0,
+    "awb": 38.0,
+}
+
+
+def energy_joules(platform, latency_ms):
+    """Energy of one inference on ``platform`` taking ``latency_ms``."""
+    try:
+        power = PLATFORM_POWER_WATTS[platform]
+    except KeyError:
+        raise ConfigError(
+            f"unknown platform {platform!r}; expected one of "
+            f"{sorted(PLATFORM_POWER_WATTS)}"
+        )
+    if latency_ms < 0:
+        raise ConfigError(f"latency_ms must be >= 0, got {latency_ms}")
+    return power * latency_ms * 1e-3
+
+
+def inferences_per_kilojoule(platform, latency_ms):
+    """The paper's efficiency metric: how many inferences 1 kJ buys."""
+    joules = energy_joules(platform, latency_ms)
+    if joules == 0:
+        return float("inf")
+    return 1000.0 / joules

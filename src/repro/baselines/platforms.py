@@ -1,0 +1,27 @@
+"""Shared result type for cross-platform comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlatformResult:
+    """Latency and energy of one platform on one dataset."""
+
+    platform: str
+    dataset: str
+    latency_ms: float
+    power_watts: float
+
+    @property
+    def energy_joules(self):
+        """Energy of one inference."""
+        return self.power_watts * self.latency_ms * 1e-3
+
+    @property
+    def inferences_per_kilojoule(self):
+        """The paper's energy-efficiency metric (Graph Inference/kJ)."""
+        if self.energy_joules == 0:
+            return float("inf")
+        return 1000.0 / self.energy_joules

@@ -1,0 +1,138 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Usage::
+
+    python -m repro table1 [--preset scaled] [--datasets cora,nell]
+    python -m repro table2
+    python -m repro table3 [--pes 256]
+    python -m repro fig-dist [--datasets cora,pubmed]
+    python -m repro fig14 [--pes 256]
+    python -m repro fig14-spmm
+    python -m repro fig14-area
+    python -m repro fig15 [--pe-counts 512,768,1024]
+    python -m repro summary           # dataset inventory
+
+Each command prints the rendered table; ``--out DIR`` additionally
+writes the rows as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    fig14_overall,
+    fig14_per_spmm,
+    fig14_resources,
+    fig15_scalability,
+    fig_nnz_distribution,
+    rows_to_csv,
+    table1_profile,
+    table2_ordering,
+    table3_crossplatform,
+)
+from repro.datasets import dataset_names, load_dataset
+
+
+def build_parser():
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AWB-GCN reproduction: regenerate the paper's artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, *, pes=False, pe_counts=False):
+        p.add_argument("--preset", default="scaled",
+                       choices=["tiny", "scaled", "full"],
+                       help="dataset size preset (default: scaled)")
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--datasets", default=None,
+                       help="comma-separated subset (default: all five)")
+        p.add_argument("--out", default=None, metavar="DIR",
+                       help="also write rows as CSV under DIR")
+        if pes:
+            p.add_argument("--pes", type=int, default=256,
+                           help="PE count (default: 256)")
+        if pe_counts:
+            p.add_argument("--pe-counts", default="512,768,1024",
+                           help="comma-separated PE counts")
+        return p
+
+    add_common(sub.add_parser("table1", help="matrix profiling"))
+    add_common(sub.add_parser("table2", help="computation-order op counts"))
+    add_common(sub.add_parser("table3", help="cross-platform comparison"),
+               pes=True)
+    add_common(sub.add_parser("fig-dist", help="row-nnz distributions"))
+    add_common(sub.add_parser("fig14", help="overall delay & utilization"),
+               pes=True)
+    add_common(sub.add_parser("fig14-spmm", help="per-SPMM breakdown"),
+               pes=True)
+    add_common(sub.add_parser("fig14-area", help="CLB area breakdown"),
+               pes=True)
+    add_common(sub.add_parser("fig15", help="PE-count scalability"),
+               pe_counts=True)
+    add_common(sub.add_parser("summary", help="dataset inventory"))
+    return parser
+
+
+def _dataset_list(args):
+    if args.datasets is None:
+        return None
+    names = [name.strip() for name in args.datasets.split(",") if name.strip()]
+    return names or None
+
+
+def _emit(args, name, rows, text):
+    print(text)
+    if args.out:
+        path = rows_to_csv(rows, f"{args.out}/{name}.csv")
+        print(f"\nrows written to {path}")
+    return 0
+
+
+def main(argv=None):
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    datasets = _dataset_list(args)
+    common = {"preset": args.preset, "seed": args.seed, "datasets": datasets}
+
+    if args.command == "table1":
+        rows, text = table1_profile(**common)
+        return _emit(args, "table1", rows, text)
+    if args.command == "table2":
+        rows, text = table2_ordering(**common)
+        return _emit(args, "table2", rows, text)
+    if args.command == "table3":
+        rows, text = table3_crossplatform(n_pes=args.pes, **common)
+        return _emit(args, "table3", rows, text)
+    if args.command == "fig-dist":
+        rows, text = fig_nnz_distribution(**common)
+        return _emit(args, "fig_dist", rows, text)
+    if args.command == "fig14":
+        rows, text = fig14_overall(n_pes=args.pes, **common)
+        return _emit(args, "fig14_overall", rows, text)
+    if args.command == "fig14-spmm":
+        rows, text = fig14_per_spmm(n_pes=args.pes, **common)
+        return _emit(args, "fig14_per_spmm", rows, text)
+    if args.command == "fig14-area":
+        rows, text = fig14_resources(n_pes=args.pes, **common)
+        return _emit(args, "fig14_resources", rows, text)
+    if args.command == "fig15":
+        pe_counts = tuple(
+            int(x) for x in args.pe_counts.split(",") if x.strip()
+        )
+        rows, text = fig15_scalability(pe_counts=pe_counts, **common)
+        return _emit(args, "fig15", rows, text)
+    if args.command == "summary":
+        names = datasets or dataset_names()
+        for name in names:
+            ds = load_dataset(name, args.preset, seed=args.seed)
+            print(ds.summary())
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Dataset persistence: save/load a ``GcnDataset`` as a single ``.npz``.
+
+Generating the full Reddit-scale preset takes seconds and gigabytes of
+transient memory; persisting the generated dataset lets benchmark runs
+and notebooks share one artifact. The format is a plain numpy archive —
+no pickle — so files are portable and safe to load.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.synthetic import GcnDataset
+from repro.errors import DatasetError
+from repro.sparse.coo import CooMatrix
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset, path):
+    """Write ``dataset`` to ``path`` (``.npz``); returns the path."""
+    if not isinstance(dataset, GcnDataset):
+        raise DatasetError(
+            f"expected a GcnDataset, got {type(dataset).__name__}"
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "name": np.array(dataset.name),
+        "preset": np.array(dataset.preset),
+        "seed": np.array(dataset.seed),
+        "n_nodes": np.array(dataset.n_nodes),
+        "adj_rows": dataset.adjacency.rows,
+        "adj_cols": dataset.adjacency.cols,
+        "adj_vals": dataset.adjacency.vals,
+        "w1": dataset.weights[0],
+        "w2": dataset.weights[1],
+        "x1_row_nnz": dataset.x1_row_nnz,
+        "x2_row_nnz": dataset.x2_row_nnz,
+        "has_features": np.array(dataset.has_numeric_features),
+    }
+    if dataset.has_numeric_features:
+        payload["feat_rows"] = dataset.features.rows
+        payload["feat_cols"] = dataset.features.cols
+        payload["feat_vals"] = dataset.features.vals
+        payload["feat_n_cols"] = np.array(dataset.features.shape[1])
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_dataset_file(path):
+    """Read a dataset written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such dataset file: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise DatasetError(
+                f"unsupported dataset file version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        n_nodes = int(archive["n_nodes"])
+        adjacency = CooMatrix(
+            (n_nodes, n_nodes),
+            archive["adj_rows"],
+            archive["adj_cols"],
+            archive["adj_vals"],
+        )
+        features = None
+        if bool(archive["has_features"]):
+            features = CooMatrix(
+                (n_nodes, int(archive["feat_n_cols"])),
+                archive["feat_rows"],
+                archive["feat_cols"],
+                archive["feat_vals"],
+            )
+        return GcnDataset(
+            name=str(archive["name"]),
+            preset=str(archive["preset"]),
+            seed=int(archive["seed"]),
+            adjacency=adjacency,
+            features=features,
+            weights=[archive["w1"], archive["w2"]],
+            x1_row_nnz=archive["x1_row_nnz"],
+            x2_row_nnz=archive["x2_row_nnz"],
+        )

@@ -1,0 +1,45 @@
+"""Dataset registry with in-process caching.
+
+Building the Reddit-scale adjacency takes seconds; benchmarks and tests
+ask for the same dataset many times, so :func:`load_dataset` memoizes on
+``(name, preset, seed, materialize)``. The cache can be cleared for
+memory-sensitive runs.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.specs import get_spec
+from repro.datasets.synthetic import build_dataset
+from repro.errors import DatasetError
+
+_CACHE = {}
+
+
+def load_dataset(name, preset="scaled", *, seed=7, materialize=None):
+    """Return a cached :class:`~repro.datasets.synthetic.GcnDataset`.
+
+    ``name`` must be one of the five paper datasets; ``preset`` is
+    ``full``, ``scaled`` or ``tiny``. All randomness derives from
+    ``seed``, so repeated calls are bit-identical.
+    """
+    spec = get_spec(name)  # raises DatasetError for unknown names
+    if preset not in ("full", "scaled", "tiny"):
+        raise DatasetError(
+            f"unknown preset {preset!r}; expected full/scaled/tiny"
+        )
+    key = (spec.name, preset, int(seed), materialize)
+    if key not in _CACHE:
+        _CACHE[key] = build_dataset(
+            spec.name, preset, seed=seed, materialize=materialize
+        )
+    return _CACHE[key]
+
+
+def clear_dataset_cache():
+    """Drop all cached datasets (frees multi-GB full presets)."""
+    _CACHE.clear()
+
+
+def cache_info():
+    """Return the list of currently cached dataset keys."""
+    return sorted(_CACHE.keys())

@@ -1,0 +1,198 @@
+"""Assembly of complete synthetic GCN datasets.
+
+A :class:`GcnDataset` bundles everything a 2-layer GCN inference needs:
+the normalized adjacency, the layer-1 feature matrix (materialized or
+pattern-only), and the two dense weight matrices. It also precomputes
+the per-row non-zero counts that drive the workload models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.features import (
+    dense_weight_matrix,
+    sample_row_nnz,
+    sparse_feature_matrix,
+)
+from repro.datasets.normalize import gcn_normalize
+from repro.datasets.rmat import inject_hub_cluster, rmat_edges
+from repro.datasets.specs import get_spec
+from repro.errors import DatasetError
+from repro.sparse.coo import CooMatrix
+from repro.utils.rng import spawn_rngs
+
+# Materialize feature values only below this many non-zeros; above it we
+# keep the pattern (per-row counts), which is all the cycle models need.
+_MATERIALIZE_NNZ_LIMIT = 5_000_000
+
+
+@dataclass(frozen=True)
+class GcnDataset:
+    """A synthetic dataset ready for GCN inference and simulation.
+
+    Attributes
+    ----------
+    name, preset:
+        Which spec and size preset produced this dataset.
+    adjacency:
+        The normalized ``A~`` as a canonical :class:`CooMatrix`.
+    features:
+        Layer-1 input ``X1`` as a :class:`CooMatrix`, or ``None`` when the
+        dataset was built pattern-only (huge presets).
+    weights:
+        ``[W1, W2]`` dense arrays of shapes ``(F1, F2)`` and ``(F2, F3)``.
+    x1_row_nnz, x2_row_nnz:
+        Per-row non-zero counts of the layer inputs. ``x2_row_nnz`` is a
+        *forecast* from the Table 1 density (the true X2 emerges from
+        inference and is used instead whenever features are materialized).
+    """
+
+    name: str
+    preset: str
+    seed: int
+    adjacency: CooMatrix
+    features: object  # CooMatrix | None
+    weights: list
+    x1_row_nnz: np.ndarray
+    x2_row_nnz: np.ndarray
+
+    @property
+    def n_nodes(self):
+        """Number of graph nodes (rows of A)."""
+        return self.adjacency.shape[0]
+
+    @property
+    def feature_dims(self):
+        """``(F1, F2, F3)`` layer dimensions."""
+        return (
+            self.weights[0].shape[0],
+            self.weights[0].shape[1],
+            self.weights[1].shape[1],
+        )
+
+    @property
+    def has_numeric_features(self):
+        """True when X1 values were materialized (numeric inference runs)."""
+        return self.features is not None
+
+    def layer_dims(self):
+        """Per-layer (n, in_features, out_features) tuples."""
+        f1, f2, f3 = self.feature_dims
+        return [(self.n_nodes, f1, f2), (self.n_nodes, f2, f3)]
+
+    def summary(self):
+        """Human-readable one-paragraph description used by examples."""
+        f1, f2, f3 = self.feature_dims
+        return (
+            f"{self.name}/{self.preset}: {self.n_nodes} nodes, "
+            f"A nnz={self.adjacency.nnz} "
+            f"(density {self.adjacency.density:.4%}), "
+            f"dims F1={f1} F2={f2} F3={f3}, "
+            f"X1 nnz={int(self.x1_row_nnz.sum())}, "
+            f"features {'materialized' if self.has_numeric_features else 'pattern-only'}"
+        )
+
+
+def build_dataset(name, preset="scaled", *, seed=7, materialize=None):
+    """Build a :class:`GcnDataset` for ``name`` at ``preset`` size.
+
+    Parameters
+    ----------
+    materialize:
+        Force (True) or forbid (False) numeric feature materialization;
+        by default features are materialized whenever the X1 non-zero
+        count stays under ``5M`` (all presets except full Reddit).
+    """
+    spec = get_spec(name)
+    sizes = spec.preset(preset)
+    rng_graph, rng_feat, rng_w1, rng_w2, rng_x2 = spawn_rngs(seed, 5)
+
+    adjacency = _build_adjacency(spec, sizes, rng_graph)
+    x1_nnz_target = sizes.x1_density * sizes.nodes * sizes.f1
+    if materialize is None:
+        materialize = x1_nnz_target <= _MATERIALIZE_NNZ_LIMIT
+    if materialize and x1_nnz_target > 20 * _MATERIALIZE_NNZ_LIMIT:
+        raise DatasetError(
+            f"refusing to materialize ~{x1_nnz_target:.0f} feature values; "
+            "use materialize=False (pattern-only)"
+        )
+    if materialize:
+        features = sparse_feature_matrix(
+            sizes.nodes, sizes.f1, sizes.x1_density, rng=rng_feat
+        )
+        x1_row_nnz = features.row_nnz()
+    else:
+        features = None
+        x1_row_nnz = sample_row_nnz(
+            sizes.nodes, sizes.f1, sizes.x1_density, rng=rng_feat
+        )
+    weights = [
+        dense_weight_matrix(sizes.f1, sizes.f2, rng=rng_w1),
+        dense_weight_matrix(sizes.f2, sizes.f3, rng=rng_w2),
+    ]
+    # Forecast X2's row-nnz from the published density; X2 = relu(A(X1 W1))
+    # is row-dense wherever a node has any 2-hop support, so skew is mild.
+    x2_row_nnz = sample_row_nnz(
+        sizes.nodes, sizes.f2, sizes.x2_density, rng=rng_x2, row_skew=0.2
+    )
+    return GcnDataset(
+        name=spec.name,
+        preset=preset,
+        seed=seed,
+        adjacency=adjacency,
+        features=features,
+        weights=weights,
+        x1_row_nnz=x1_row_nnz,
+        x2_row_nnz=x2_row_nnz,
+    )
+
+
+def _build_adjacency(spec, sizes, rng):
+    """Generate, cluster, symmetrize and normalize the adjacency matrix."""
+    # The normalized matrix gains n self-loop entries; budget for them.
+    target_nnz = sizes.a_nnz_target
+    n_directed = max((target_nnz - sizes.nodes) // 2, 1)
+    src, dst = rmat_edges(
+        sizes.nodes, n_directed, abcd=spec.rmat_abcd, rng=rng
+    )
+    if spec.hub_fraction > 0 and spec.hub_nodes > 0:
+        # Keep the hub a small *fraction* of the graph on shrunken
+        # presets — a 200-node hub inside a 400-node tiny graph would be
+        # half the matrix, not a cluster.
+        hub_nodes = min(spec.hub_nodes, max(sizes.nodes // 16, 1))
+        src, dst = inject_hub_cluster(
+            src,
+            dst,
+            sizes.nodes,
+            hub_nodes=hub_nodes,
+            fraction=spec.hub_fraction,
+            rng=rng,
+        )
+    if spec.shuffle_fraction > 0:
+        perm = _partial_shuffle(sizes.nodes, spec.shuffle_fraction, rng)
+        src, dst = perm[src], perm[dst]
+    # Symmetrize: real citation/social graphs are undirected.
+    rows = np.concatenate([src, dst])
+    cols = np.concatenate([dst, src])
+    raw = CooMatrix(
+        (sizes.nodes, sizes.nodes), rows, cols, np.ones(rows.size)
+    )
+    return gcn_normalize(raw)
+
+
+def _partial_shuffle(n_nodes, fraction, rng):
+    """Permutation that scatters ``fraction`` of node ids, fixing the rest.
+
+    Controls how spatially clustered the heavy rows are: RMAT alone packs
+    hubs into low indices (remote imbalance); a full shuffle spreads them
+    uniformly (local imbalance only).
+    """
+    perm = np.arange(n_nodes, dtype=np.int64)
+    k = int(round(fraction * n_nodes))
+    if k >= 2:
+        chosen = rng.choice(n_nodes, size=k, replace=False)
+        perm[chosen] = chosen[rng.permutation(k)]
+    return perm

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Raised when matrix shapes are inconsistent for an operation."""
+
+
+class FormatError(ReproError, ValueError):
+    """Raised when a sparse-format invariant is violated.
+
+    Examples: unsorted or out-of-range indices, a ``indptr`` array whose
+    length does not match the matrix dimension, duplicate coordinates in
+    a format that forbids them.
+    """
+
+
+class ConfigError(ReproError, ValueError):
+    """Raised when an architecture or dataset configuration is invalid."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """Raised when the hardware simulation reaches an inconsistent state.
+
+    This indicates a bug in the simulator (e.g. a task routed to a PE
+    that does not own the target row and cannot reach its ACC bank), not
+    a user error, and is therefore a ``RuntimeError``.
+    """
+
+
+class DatasetError(ReproError, ValueError):
+    """Raised when a dataset name or preset is unknown or inconsistent."""

@@ -1,0 +1,42 @@
+"""Detailed cycle-level simulator of the SPMM engine (paper Fig. 7).
+
+Where :mod:`repro.accel` models rounds analytically, this package steps
+the microarchitecture cycle by cycle:
+
+* :mod:`repro.hw.omega` — the multi-stage Omega network of TDQ-2, with
+  destination-tag routing, 2x2 switch contention and per-stage buffers;
+* :mod:`repro.hw.queues` — per-PE task queues with occupancy tracking;
+* :mod:`repro.hw.pe` — the PE: arbiter over its queues, a MAC pipeline
+  of configurable depth, and the RaW stall buffer that holds tasks
+  targeting a row already in flight;
+* :mod:`repro.hw.dispatch` — TDQ-1 (dense-stored stream, direct to
+  queues) and TDQ-2 (CSC stream through the Omega network) dispatchers,
+  both with the queue-compare local-sharing heuristic;
+* :mod:`repro.hw.engine` — the full engine: runs a complete SPMM,
+  returns the numeric result plus cycle/utilization statistics.
+
+It carries real values (results are checked against numpy) and measures
+the true cost of hazards and network contention. It is O(cycles x PEs)
+pure Python, so it is meant for small matrices: unit tests, the
+fast-model validation property tests, and the microarchitecture
+examples.
+"""
+
+from repro.hw.task import Task
+from repro.hw.queues import TaskQueue, QueueGroup
+from repro.hw.omega import OmegaNetwork
+from repro.hw.pe import ProcessingElement
+from repro.hw.dispatch import Tdq1Dispatcher, Tdq2Dispatcher
+from repro.hw.engine import DetailedStats, simulate_spmm_detailed
+
+__all__ = [
+    "Task",
+    "TaskQueue",
+    "QueueGroup",
+    "OmegaNetwork",
+    "ProcessingElement",
+    "Tdq1Dispatcher",
+    "Tdq2Dispatcher",
+    "DetailedStats",
+    "simulate_spmm_detailed",
+]

@@ -1,0 +1,108 @@
+"""The multi-stage Omega network of TDQ-2.
+
+The paper routes the CSC non-zero stream to the PE owning each row
+through an Omega network — "much less area and hardware complexity"
+than a crossbar — with a local buffer per router in case the next stage
+saturates.
+
+Implementation: destination-tag routing. A task at position ``p`` of
+stage ``s`` advances to position ``((p << 1) & (P - 1)) | bit_s(dest)``
+of stage ``s + 1`` (MSB first); after ``log2(P)`` stages the position
+*is* the destination. The two positions that map to the same next slot
+differ only in their MSB — exactly the two inputs of one 2x2 switch —
+so per-slot single-acceptance per cycle models switch contention
+faithfully. Blocked tasks wait in the stage buffer (head-of-line).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class OmegaNetwork:
+    """An Omega network with ``log2(n_ports)`` stages of buffered switches."""
+
+    def __init__(self, n_ports, *, buffer_depth=4):
+        if n_ports < 2 or (n_ports & (n_ports - 1)) != 0:
+            raise ConfigError(
+                f"n_ports must be a power of two >= 2, got {n_ports}"
+            )
+        if buffer_depth < 1:
+            raise ConfigError(
+                f"buffer_depth must be >= 1, got {buffer_depth}"
+            )
+        self.n_ports = n_ports
+        self.n_stages = int(np.log2(n_ports))
+        self.buffer_depth = buffer_depth
+        # stage buffers: stages x ports, each a FIFO of (dest, payload)
+        self._buffers = [
+            [deque() for _ in range(n_ports)] for _ in range(self.n_stages)
+        ]
+        self._rr_bit = 0  # round-robin arbitration between switch inputs
+
+    def occupancy(self):
+        """Total buffered tasks across all stages."""
+        return sum(
+            len(slot) for stage in self._buffers for slot in stage
+        )
+
+    @property
+    def empty(self):
+        """True when nothing is in flight inside the network."""
+        return self.occupancy() == 0
+
+    def inject(self, port, dest, payload):
+        """Offer a task to input ``port``; False when the entry is full."""
+        if not 0 <= dest < self.n_ports:
+            raise ConfigError(f"dest {dest} out of range")
+        slot = self._buffers[0][port]
+        if len(slot) >= self.buffer_depth:
+            return False
+        slot.append((dest, payload))
+        return True
+
+    def step(self):
+        """Advance one cycle; returns the list of (dest, payload) exits.
+
+        Stages are processed back to front so a task can advance at most
+        one stage per cycle and freed slots become available to the
+        previous stage in the same cycle (credit-style flow control).
+        """
+        exits = []
+        for stage in range(self.n_stages - 1, -1, -1):
+            self._advance_stage(stage, exits)
+        self._rr_bit ^= 1
+        return exits
+
+    def _advance_stage(self, stage, exits):
+        """Move head tasks of ``stage`` into ``stage + 1`` (or out)."""
+        n = self.n_ports
+        buffers = self._buffers[stage]
+        last = stage == self.n_stages - 1
+        bit_shift = self.n_stages - 1 - stage  # MSB-first routing bit
+        # Gather desired next-slot for each head task.
+        claims = {}
+        for port in range(n):
+            slot = buffers[port]
+            if not slot:
+                continue
+            dest, _payload = slot[0]
+            routing_bit = (dest >> bit_shift) & 1
+            next_pos = ((port << 1) & (n - 1)) | routing_bit
+            claims.setdefault(next_pos, []).append(port)
+        for next_pos, ports in claims.items():
+            # At most one task per output per cycle; alternate priority
+            # between the two switch inputs to avoid starvation.
+            ports.sort()
+            winner = ports[self._rr_bit % len(ports)]
+            if last:
+                dest, payload = buffers[winner].popleft()
+                exits.append((dest, payload))
+                continue
+            target = self._buffers[stage + 1][next_pos]
+            if len(target) < self.buffer_depth:
+                target.append(buffers[winner].popleft())

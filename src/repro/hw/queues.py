@@ -1,0 +1,107 @@
+"""Per-PE task queues with occupancy tracking.
+
+Each PE owns several queues (Fig. 6-B shows four); the dispatcher pushes
+into them and the PE's arbiter pops. The pending-task counters are what
+both the local-sharing comparison and the PESM's empty signals observe,
+so the queues track their high-water mark for the area model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigError
+
+
+class TaskQueue:
+    """A FIFO of tasks with optional capacity and high-water tracking."""
+
+    def __init__(self, capacity=None):
+        if capacity is not None and capacity < 1:
+            raise ConfigError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._items = deque()
+        self.high_water = 0
+
+    def __len__(self):
+        return len(self._items)
+
+    @property
+    def full(self):
+        """True when a bounded queue cannot accept another task."""
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def empty(self):
+        """True when no tasks are pending (the PESM 'empty' signal)."""
+        return not self._items
+
+    def push(self, task):
+        """Enqueue; returns False (and drops nothing) when full."""
+        if self.full:
+            return False
+        self._items.append(task)
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+        return True
+
+    def peek(self):
+        """The head task without removing it (None when empty)."""
+        return self._items[0] if self._items else None
+
+    def pop(self):
+        """Dequeue the head task (None when empty)."""
+        return self._items.popleft() if self._items else None
+
+
+class QueueGroup:
+    """The bundle of queues belonging to one PE."""
+
+    def __init__(self, n_queues, capacity=None):
+        if n_queues < 1:
+            raise ConfigError(f"n_queues must be >= 1, got {n_queues}")
+        self.queues = [TaskQueue(capacity) for _ in range(n_queues)]
+        self._next_push = 0
+
+    def __len__(self):
+        return sum(len(q) for q in self.queues)
+
+    @property
+    def pending(self):
+        """Total pending tasks (the counter local sharing compares)."""
+        return len(self)
+
+    @property
+    def high_water(self):
+        """Peak total occupancy observed."""
+        return sum(q.high_water for q in self.queues)
+
+    def push(self, task):
+        """Round-robin push across the PE's queues; False if all full."""
+        for offset in range(len(self.queues)):
+            queue = self.queues[(self._next_push + offset) % len(self.queues)]
+            if queue.push(task):
+                self._next_push = (self._next_push + offset + 1) % len(
+                    self.queues
+                )
+                return True
+        return False
+
+    def pop_non_hazard(self, in_flight_rows):
+        """Arbiter pop: head task whose row is not in flight.
+
+        Scans queues round-robin; skips heads that would RaW-hazard
+        against ``in_flight_rows``. Returns ``(task, stalled)`` where
+        ``stalled`` is True when tasks were pending but every available
+        head conflicted (the PE loses the cycle — this is the stall the
+        fast model's cooldown bound approximates).
+        """
+        saw_pending = False
+        for queue in self.queues:
+            head = queue.peek()
+            if head is None:
+                continue
+            saw_pending = True
+            if head.row not in in_flight_rows:
+                return queue.pop(), False
+        return None, saw_pending

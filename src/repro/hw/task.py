@@ -1,0 +1,27 @@
+"""The unit of work flowing through the simulated hardware.
+
+One task is one multiply-accumulate: ``C[row, col] += a_val * b_val``
+(paper Eq. 4: element ``b(j, k)`` broadcast over column ``j`` of A).
+``owner`` is the PE whose ACC bank holds the output row; local sharing
+may execute the task on a neighbouring PE, but the accumulation returns
+to the owner's bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Task:
+    """One MAC task."""
+
+    row: int
+    a_val: float
+    b_val: float
+    owner: int
+
+    @property
+    def product(self):
+        """The value this task contributes to its output row."""
+        return self.a_val * self.b_val

@@ -1,0 +1,46 @@
+"""Activation functions used by GCN layers.
+
+The paper's networks use ReLU between layers (which is also what makes
+X2 sparse again — Sec. 3.3: "after the activation function ReLU, a large
+portion of entries become zero") and a row softmax on the output layer
+for classification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relu(x):
+    """Elementwise max(x, 0)."""
+    return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+
+
+def identity(x):
+    """No-op activation (used on the output layer before softmax)."""
+    return np.asarray(x, dtype=np.float64)
+
+
+def row_softmax(x):
+    """Numerically stable softmax over each row."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+ACTIVATIONS = {
+    "relu": relu,
+    "identity": identity,
+    "softmax": row_softmax,
+}
+
+
+def get_activation(name):
+    """Look up an activation by name; raises KeyError with choices listed."""
+    try:
+        return ACTIVATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown activation {name!r}; expected one of {sorted(ACTIVATIONS)}"
+        )

@@ -1,0 +1,128 @@
+"""Reference sparse kernels used as the numerical oracle.
+
+These kernels define *what* the accelerator computes; the simulators in
+:mod:`repro.hw` and :mod:`repro.accel` define *how fast*. The SPMM kernel
+``spmm_csc_dense`` mirrors the paper's Eq. 4 formulation: the resulting
+matrix ``C`` is assembled column-of-A by column-of-A, broadcasting
+``b[j, k]`` over column ``j`` of ``A``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse.coo import CooMatrix
+from repro.sparse.convert import coo_to_csr, csr_to_coo
+from repro.sparse.csc import CscMatrix
+from repro.sparse.csr import CsrMatrix
+
+# Above this many (nnz * k) products the column-loop kernel switches to a
+# flat scatter-add, which allocates an (nnz, k) temporary but avoids the
+# Python-level loop over columns.
+_FLAT_KERNEL_THRESHOLD = 2_000_000
+
+
+def spmm_csc_dense(a_csc, b_dense):
+    """Multiply ``A (CSC, m x n) @ B (dense, n x k)`` -> dense ``(m, k)``.
+
+    This is the computation TDQ-2 performs in hardware: for each column
+    ``j`` of ``A`` and each round ``k``, broadcast ``b[j, k]`` to all
+    non-zeros of column ``j`` and accumulate into the rows of ``C``
+    (paper Eq. 4 and Fig. 5).
+    """
+    if not isinstance(a_csc, CscMatrix):
+        raise ShapeError(f"a_csc must be CscMatrix, got {type(a_csc).__name__}")
+    b_dense = np.asarray(b_dense, dtype=np.float64)
+    if b_dense.ndim != 2 or b_dense.shape[0] != a_csc.shape[1]:
+        raise ShapeError(
+            f"B must be 2-D with {a_csc.shape[1]} rows, got shape {b_dense.shape}"
+        )
+    m, k = a_csc.shape[0], b_dense.shape[1]
+    out = np.zeros((m, k))
+    if a_csc.nnz == 0 or k == 0:
+        return out
+    if a_csc.nnz * k <= _FLAT_KERNEL_THRESHOLD:
+        cols = a_csc.expand_cols()
+        np.add.at(out, a_csc.row_ids, a_csc.vals[:, None] * b_dense[cols, :])
+        return out
+    indptr = a_csc.indptr
+    for j in range(a_csc.shape[1]):
+        lo, hi = indptr[j], indptr[j + 1]
+        if lo == hi:
+            continue
+        rows = a_csc.row_ids[lo:hi]
+        contrib = np.outer(a_csc.vals[lo:hi], b_dense[j, :])
+        np.add.at(out, rows, contrib)
+    return out
+
+
+def spmm_csr_dense(a_csr, b_dense):
+    """Multiply ``A (CSR, m x n) @ B (dense, n x k)`` -> dense ``(m, k)``.
+
+    Row-oriented formulation: each output row is the weighted sum of the
+    B rows selected by that A row. Used by the CPU software baseline.
+    """
+    if not isinstance(a_csr, CsrMatrix):
+        raise ShapeError(f"a_csr must be CsrMatrix, got {type(a_csr).__name__}")
+    b_dense = np.asarray(b_dense, dtype=np.float64)
+    if b_dense.ndim != 2 or b_dense.shape[0] != a_csr.shape[1]:
+        raise ShapeError(
+            f"B must be 2-D with {a_csr.shape[1]} rows, got shape {b_dense.shape}"
+        )
+    m, k = a_csr.shape[0], b_dense.shape[1]
+    out = np.zeros((m, k))
+    if a_csr.nnz == 0 or k == 0:
+        return out
+    rows = a_csr.expand_rows()
+    np.add.at(out, rows, a_csr.vals[:, None] * b_dense[a_csr.col_ids, :])
+    return out
+
+
+def spmv_csr(a_csr, x):
+    """Multiply ``A (CSR, m x n) @ x (n,)`` -> ``(m,)`` vector."""
+    x = np.asarray(x, dtype=np.float64).ravel()
+    if x.size != a_csr.shape[1]:
+        raise ShapeError(f"x must have length {a_csr.shape[1]}, got {x.size}")
+    out = np.zeros(a_csr.shape[0])
+    if a_csr.nnz:
+        np.add.at(out, a_csr.expand_rows(), a_csr.vals * x[a_csr.col_ids])
+    return out
+
+
+def spgemm_csr(a_csr, b_csr):
+    """Multiply two sparse matrices, returning a canonical ``CooMatrix``.
+
+    The paper never runs SPGEMM in hardware (it is exactly what the
+    ``(A @ X) @ W`` ordering would need and Table 2 shows why it loses),
+    but the op-count analysis needs the result's structure.
+    """
+    if a_csr.shape[1] != b_csr.shape[0]:
+        raise ShapeError(
+            f"inner dimensions disagree: {a_csr.shape} @ {b_csr.shape}"
+        )
+    out_rows = []
+    out_cols = []
+    out_vals = []
+    b_indptr, b_cols, b_vals = b_csr.indptr, b_csr.col_ids, b_csr.vals
+    for i in range(a_csr.shape[0]):
+        a_cols, a_vals = a_csr.row_slice(i)
+        if a_cols.size == 0:
+            continue
+        acc = {}
+        for j, av in zip(a_cols.tolist(), a_vals.tolist()):
+            lo, hi = b_indptr[j], b_indptr[j + 1]
+            for col, bv in zip(b_cols[lo:hi].tolist(), b_vals[lo:hi].tolist()):
+                acc[col] = acc.get(col, 0.0) + av * bv
+        for col, val in acc.items():
+            out_rows.append(i)
+            out_cols.append(col)
+            out_vals.append(val)
+    shape = (a_csr.shape[0], b_csr.shape[1])
+    return CooMatrix(shape, out_rows, out_cols, out_vals)
+
+
+def transpose_csr(a_csr):
+    """Transpose a CSR matrix, returning CSR of the transposed shape."""
+    coo = csr_to_coo(a_csr)
+    return coo_to_csr(coo.transpose())

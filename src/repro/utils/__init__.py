@@ -1,0 +1,18 @@
+"""Shared helpers: seeded RNG construction and argument validation."""
+
+from repro.utils.rng import rng_from_seed, spawn_rngs
+from repro.utils.validation import (
+    check_positive_int,
+    check_non_negative_int,
+    check_fraction,
+    check_1d_int_array,
+)
+
+__all__ = [
+    "rng_from_seed",
+    "spawn_rngs",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_fraction",
+    "check_1d_int_array",
+]

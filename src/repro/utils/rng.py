@@ -1,0 +1,44 @@
+"""Deterministic random-number-generator helpers.
+
+All stochastic code in this package takes either an integer seed or a
+``numpy.random.Generator``. These helpers normalize both spellings and
+derive independent child generators, so that every experiment in the
+benchmark harness is reproducible bit-for-bit from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def rng_from_seed(seed):
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh entropy), an ``int``, or an existing
+    ``Generator`` (returned unchanged so callers can thread one RNG
+    through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise ConfigError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed, count):
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    Uses ``numpy``'s ``SeedSequence.spawn`` so the children do not overlap
+    even when the parent seed is small.
+    """
+    if count < 0:
+        raise ConfigError(f"count must be >= 0, got {count}")
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

@@ -1,0 +1,53 @@
+"""Small argument-validation helpers shared across the package.
+
+These raise :class:`repro.errors.ConfigError` with a message naming the
+offending argument, so user-facing constructors can validate succinctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def check_positive_int(value, name):
+    """Return ``value`` as ``int`` if it is a positive integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ConfigError(f"{name} must be > 0, got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value, name):
+    """Return ``value`` as ``int`` if it is a non-negative integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def check_fraction(value, name, *, inclusive_low=True, inclusive_high=True):
+    """Return ``value`` as ``float`` if it lies in [0, 1] (bounds optional)."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ConfigError(f"{name} must be a number, got {type(value).__name__}")
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    high_ok = value <= 1.0 if inclusive_high else value < 1.0
+    if not (low_ok and high_ok):
+        raise ConfigError(f"{name} must lie in the unit interval, got {value}")
+    return value
+
+
+def check_1d_int_array(values, name):
+    """Return ``values`` as a 1-D int64 numpy array, else raise."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ConfigError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        if not np.all(arr == np.floor(arr)):
+            raise ConfigError(f"{name} must contain integers")
+    return arr.astype(np.int64, copy=False)

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite.
+
+Datasets use the ``tiny`` preset (hundreds of nodes) so the whole suite
+runs in seconds; a couple of integration tests use the small ``scaled``
+presets (Cora/Citeseer are their full published sizes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.sparse import CooMatrix
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dense(rng):
+    """A small dense matrix with ~25% non-zeros (for format tests)."""
+    dense = rng.normal(size=(17, 13))
+    dense[rng.random((17, 13)) > 0.25] = 0.0
+    return dense
+
+
+@pytest.fixture
+def small_coo(small_dense):
+    """The COO form of ``small_dense``."""
+    return CooMatrix.from_dense(small_dense)
+
+
+@pytest.fixture(scope="session")
+def tiny_cora():
+    """Tiny Cora-like dataset with materialized features."""
+    return load_dataset("cora", "tiny", seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_nell():
+    """Tiny Nell-like dataset (clustered skew profile)."""
+    return load_dataset("nell", "tiny", seed=3)
+
+
+@pytest.fixture(scope="session")
+def scaled_cora():
+    """Full-size Cora (it is small enough to be the scaled preset)."""
+    return load_dataset("cora", "scaled", seed=7)

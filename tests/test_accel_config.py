@@ -1,0 +1,67 @@
+"""ArchConfig validation and derived quantities."""
+
+import pytest
+
+from repro.accel import ArchConfig
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = ArchConfig()
+        assert cfg.n_pes == 256
+        assert cfg.hop == 0
+        assert not cfg.remote_switching
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_pes": 0},
+            {"n_pes": -4},
+            {"hop": -1},
+            {"mac_latency": 0},
+            {"queues_per_pe": 0},
+            {"tracking_window": 0},
+            {"frequency_mhz": 0},
+            {"sharing_efficiency": 0.0},
+            {"sharing_efficiency": 1.5},
+            {"switch_damping": 0},
+            {"convergence_patience": 0},
+            {"drain_cycles": -1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ArchConfig(**kwargs)
+
+    def test_drain_derived_from_pes_and_mac(self):
+        cfg = ArchConfig(n_pes=256, mac_latency=5)
+        assert cfg.drain_cycles == 8 + 5  # log2(256) + T
+
+    def test_drain_explicit(self):
+        assert ArchConfig(drain_cycles=3).drain_cycles == 3
+
+    def test_immutable(self):
+        cfg = ArchConfig()
+        with pytest.raises(Exception):
+            cfg.n_pes = 2
+
+
+class TestDerived:
+    def test_raw_cooldown_hidden_at_defaults(self):
+        # T=5 with 4 queues: hazards fully hidden.
+        assert ArchConfig().raw_cooldown == 1
+
+    def test_raw_cooldown_binds_for_deep_mac(self):
+        cfg = ArchConfig(mac_latency=12, queues_per_pe=4)
+        assert cfg.raw_cooldown == 8
+
+    def test_cycles_to_ms(self):
+        cfg = ArchConfig(frequency_mhz=275.0)
+        assert cfg.cycles_to_ms(275000) == pytest.approx(1.0)
+
+    def test_with_updates(self):
+        cfg = ArchConfig().with_updates(hop=2, remote_switching=True)
+        assert cfg.hop == 2
+        assert cfg.remote_switching
+        assert cfg.n_pes == 256  # untouched

@@ -1,0 +1,148 @@
+"""The per-SPMM cycle model."""
+
+import numpy as np
+import pytest
+
+from repro.accel import ArchConfig, SpmmJob, simulate_spmm
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def skewed_job(rng):
+    row_nnz = rng.integers(1, 6, size=256)
+    row_nnz[10] = 400
+    return SpmmJob(name="test", row_nnz=row_nnz, n_rounds=12)
+
+
+class TestSpmmJob:
+    def test_work_accounting(self):
+        job = SpmmJob(name="j", row_nnz=[1, 2, 3], n_rounds=4)
+        assert job.work_per_round == 6
+        assert job.total_work == 24
+
+    def test_bad_tdq_raises(self):
+        with pytest.raises(ConfigError):
+            SpmmJob(name="j", row_nnz=[1], n_rounds=1, tdq="tdq9")
+
+    def test_empty_rows_raises(self):
+        with pytest.raises(ConfigError):
+            SpmmJob(name="j", row_nnz=[], n_rounds=1)
+
+    def test_negative_nnz_raises(self):
+        with pytest.raises(ConfigError):
+            SpmmJob(name="j", row_nnz=[-1], n_rounds=1)
+
+    def test_zero_rounds_raises(self):
+        with pytest.raises(ConfigError):
+            SpmmJob(name="j", row_nnz=[1], n_rounds=0)
+
+
+class TestStaticSimulation:
+    def test_baseline_cycles_bounded_below_by_max_load(self, skewed_job):
+        cfg = ArchConfig(n_pes=16, hop=0)
+        result = simulate_spmm(skewed_job, cfg)
+        # The PE owning the 400-nnz row needs >= 400 cycles per round.
+        per_round = result.cycles_per_round[0] - cfg.drain_cycles
+        assert per_round >= 400
+
+    def test_rounds_identical_without_tuning(self, skewed_job):
+        result = simulate_spmm(skewed_job, ArchConfig(n_pes=16, hop=1))
+        assert len(set(result.cycles_per_round.tolist())) == 1
+
+    def test_utilization_in_unit_range(self, skewed_job):
+        for hop in (0, 1, 2):
+            result = simulate_spmm(skewed_job, ArchConfig(n_pes=16, hop=hop))
+            assert 0.0 < result.utilization <= 1.0
+
+    def test_sharing_reduces_cycles(self, skewed_job):
+        base = simulate_spmm(skewed_job, ArchConfig(n_pes=16, hop=0))
+        shared = simulate_spmm(skewed_job, ArchConfig(n_pes=16, hop=2))
+        assert shared.total_cycles < base.total_cycles
+
+    def test_ideal_cycles(self, skewed_job):
+        result = simulate_spmm(skewed_job, ArchConfig(n_pes=16))
+        expected = -(-skewed_job.work_per_round // 16) * 12
+        assert result.ideal_total_cycles == expected
+
+    def test_sync_cycles_non_negative(self, skewed_job):
+        result = simulate_spmm(skewed_job, ArchConfig(n_pes=16, hop=2))
+        assert result.sync_cycles >= 0
+
+    def test_initial_owner_respected(self, skewed_job):
+        owner = np.zeros(256, dtype=np.int64)  # everything on PE 0
+        result = simulate_spmm(
+            skewed_job, ArchConfig(n_pes=16, hop=0), initial_owner=owner
+        )
+        per_round = result.cycles_per_round[0] - ArchConfig(n_pes=16).drain_cycles
+        assert per_round >= skewed_job.work_per_round
+
+    def test_backlog_measured(self, skewed_job):
+        result = simulate_spmm(skewed_job, ArchConfig(n_pes=16, hop=0))
+        assert result.final_backlog > 0
+        assert result.total_backlog >= result.final_backlog
+
+    def test_bad_job_type_raises(self):
+        with pytest.raises(ConfigError):
+            simulate_spmm("job", ArchConfig())
+
+    def test_bad_config_type_raises(self, skewed_job):
+        with pytest.raises(ConfigError):
+            simulate_spmm(skewed_job, "config")
+
+
+class TestTunedSimulation:
+    def test_remote_improves_skewed_job(self, skewed_job):
+        static = simulate_spmm(skewed_job, ArchConfig(n_pes=16, hop=0))
+        tuned = simulate_spmm(
+            skewed_job, ArchConfig(n_pes=16, hop=0, remote_switching=True)
+        )
+        assert tuned.total_cycles < static.total_cycles
+        assert tuned.converged_round is not None
+
+    def test_final_owner_differs_after_tuning(self, skewed_job):
+        tuned = simulate_spmm(
+            skewed_job, ArchConfig(n_pes=16, hop=0, remote_switching=True)
+        )
+        static = simulate_spmm(skewed_job, ArchConfig(n_pes=16, hop=0))
+        assert not np.array_equal(tuned.final_owner, static.final_owner)
+
+    def test_warm_start_skips_tuning_cost(self, skewed_job):
+        cfg = ArchConfig(n_pes=16, hop=0, remote_switching=True)
+        cold = simulate_spmm(skewed_job, cfg)
+        warm = simulate_spmm(skewed_job, cfg, initial_owner=cold.final_owner)
+        # Warm-started run begins at (or near) the converged makespan.
+        assert warm.cycles_per_round[0] <= cold.cycles_per_round[0]
+        assert warm.total_cycles <= cold.total_cycles
+
+    def test_balanced_job_unaffected_by_tuning(self):
+        job = SpmmJob(name="flat", row_nnz=np.full(64, 4), n_rounds=8)
+        static = simulate_spmm(job, ArchConfig(n_pes=8, hop=0))
+        tuned = simulate_spmm(
+            job, ArchConfig(n_pes=8, hop=0, remote_switching=True)
+        )
+        assert tuned.total_cycles == static.total_cycles
+
+
+class TestRawHazardBound:
+    def test_deep_mac_binds_on_heavy_row(self):
+        row_nnz = np.full(32, 2)
+        row_nnz[0] = 100
+        job = SpmmJob(name="raw", row_nnz=row_nnz, n_rounds=2)
+        shallow = simulate_spmm(
+            job, ArchConfig(n_pes=32, hop=2, mac_latency=5)
+        )
+        deep = simulate_spmm(
+            job, ArchConfig(n_pes=32, hop=2, mac_latency=20)
+        )
+        # cooldown = 20 - 4 = 16 -> bound (100-1)*16 + 1 cycles/round.
+        assert deep.total_cycles > shallow.total_cycles
+        assert deep.cycles_per_round[0] >= (100 - 1) * 16 + 1
+
+    def test_default_config_hides_hazards(self):
+        row_nnz = np.full(32, 2)
+        row_nnz[0] = 100
+        job = SpmmJob(name="raw", row_nnz=row_nnz, n_rounds=2)
+        result = simulate_spmm(job, ArchConfig(n_pes=32, hop=0))
+        # At default T=5 / 4 queues the bound never exceeds the max load.
+        assert result.cycles_per_round[0] - ArchConfig(n_pes=32).drain_cycles \
+            == pytest.approx(104, abs=6)

@@ -1,0 +1,146 @@
+"""Local-sharing makespan bound: exactness and achievability.
+
+The bound is cross-checked against a brute-force evaluation of every
+window (the Hall certificate) and the EDF transport construction proves
+achievability — together they pin the bound from both sides.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.localshare import (
+    share_effective_loads,
+    share_makespan,
+    share_window_bounds,
+)
+from repro.errors import ConfigError
+
+
+def brute_force_bound(loads, hop):
+    """max over all windows of ceil(work / receivers)."""
+    n = len(loads)
+    best = 0
+    prefix = np.concatenate(([0], np.cumsum(loads)))
+    for i in range(n):
+        for j in range(i, n):
+            work = prefix[j + 1] - prefix[i]
+            receivers = min(n - 1, j + hop) - max(0, i - hop) + 1
+            best = max(best, -(-int(work) // receivers))
+    return best
+
+
+class TestBasicCases:
+    def test_hop_zero_is_max(self):
+        assert share_makespan([5, 1, 9, 2], 0) == 9
+
+    def test_uniform_loads_unchanged(self):
+        assert share_makespan([4, 4, 4, 4], 2) == 4
+
+    def test_single_hot_pe_spreads(self):
+        # 30 units on one of 7 PEs: 1-hop -> 3 receivers.
+        loads = [0, 0, 0, 30, 0, 0, 0]
+        assert share_makespan(loads, 1) == 10
+        assert share_makespan(loads, 2) == 6
+        assert share_makespan(loads, 3) == -(-30 // 7)
+
+    def test_boundary_pe_has_fewer_receivers(self):
+        loads = [30, 0, 0, 0, 0, 0, 0]
+        assert share_makespan(loads, 1) == 15  # only PEs 0 and 1
+
+    def test_total_over_pes_lower_bound(self):
+        loads = [10, 10, 10, 10]
+        assert share_makespan(loads, 3) == 10
+
+    def test_single_pe(self):
+        assert share_makespan([7], 2) == 7
+
+    def test_efficiency_inflates(self):
+        loads = [0, 0, 30, 0, 0]
+        ideal = share_makespan(loads, 1)
+        lossy = share_makespan(loads, 1, efficiency=0.5)
+        assert lossy == 2 * ideal
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            share_makespan([], 1)
+
+    def test_negative_hop_raises(self):
+        with pytest.raises(ConfigError):
+            share_makespan([1], -1)
+
+    def test_bad_efficiency_raises(self):
+        with pytest.raises(ConfigError):
+            share_makespan([1], 1, efficiency=0.0)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("hop", [0, 1, 2, 3])
+    def test_random_instances(self, hop, rng):
+        for _ in range(40):
+            n = int(rng.integers(1, 24))
+            loads = rng.integers(0, 40, size=n)
+            if rng.random() < 0.4:
+                loads[rng.integers(0, n)] += int(rng.integers(100, 500))
+            assert share_makespan(loads, hop) == brute_force_bound(loads, hop)
+
+    def test_window_bounds_components(self):
+        loads = np.array([100, 0, 0, 0, 50, 0])
+        interior, prefix, suffix = share_window_bounds(loads, 1)
+        assert max(interior, prefix, suffix) == brute_force_bound(loads, 1)
+
+
+class TestEffectiveLoads:
+    def test_conservation_and_cap(self, rng):
+        for _ in range(30):
+            n = int(rng.integers(1, 30))
+            hop = int(rng.integers(0, 4))
+            loads = rng.integers(0, 60, size=n)
+            cap = share_makespan(loads, hop)
+            effective = share_effective_loads(loads, hop)
+            assert effective.sum() == pytest.approx(float(loads.sum()))
+            assert effective.max() <= cap + 1e-9
+
+    def test_hop_zero_identity(self):
+        loads = np.array([3, 7, 1])
+        assert np.allclose(share_effective_loads(loads, 0), loads)
+
+    def test_locality_respected(self):
+        # Work can only appear within hop distance of some original owner.
+        loads = np.array([0, 0, 0, 0, 0, 0, 50, 0, 0, 0, 0, 0, 0])
+        effective = share_effective_loads(loads, 2)
+        outside = np.concatenate([effective[:4], effective[9:]])
+        assert np.all(outside == 0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(st.integers(0, 100), min_size=1, max_size=20),
+    st.integers(0, 4),
+)
+def test_property_bound_matches_brute_force(loads, hop):
+    assert share_makespan(loads, hop) == brute_force_bound(loads, hop)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(0, 100), min_size=1, max_size=16),
+    st.integers(0, 3),
+)
+def test_property_construction_achieves_bound(loads, hop):
+    loads = np.asarray(loads)
+    cap = share_makespan(loads, hop)
+    effective = share_effective_loads(loads, hop)
+    assert effective.sum() == pytest.approx(float(loads.sum()))
+    assert effective.max() <= cap + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(0, 50), min_size=2, max_size=16),
+    st.integers(0, 3),
+)
+def test_property_monotone_in_hop(loads, hop):
+    # More hops can never make the makespan worse.
+    assert share_makespan(loads, hop + 1) <= share_makespan(loads, hop)

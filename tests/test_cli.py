@@ -1,0 +1,95 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.preset == "scaled"
+        assert args.seed == 7
+        assert args.datasets is None
+
+
+class TestCommands:
+    def test_summary(self, capsys):
+        code = main(["summary", "--preset", "tiny", "--seed", "3",
+                     "--datasets", "cora"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cora/tiny" in out
+
+    def test_table1(self, capsys):
+        code = main(["table1", "--preset", "tiny", "--seed", "3",
+                     "--datasets", "cora"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_table2_with_csv_out(self, capsys, tmp_path):
+        code = main([
+            "table2", "--preset", "tiny", "--seed", "3",
+            "--datasets", "cora", "--out", str(tmp_path),
+        ])
+        assert code == 0
+        assert (tmp_path / "table2.csv").exists()
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        code = main(["table3", "--preset", "tiny", "--seed", "3",
+                     "--datasets", "cora", "--pes", "16"])
+        assert code == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_fig_dist(self, capsys):
+        code = main(["fig-dist", "--preset", "tiny", "--seed", "3",
+                     "--datasets", "nell"])
+        assert code == 0
+        assert "nell" in capsys.readouterr().out
+
+    def test_fig14(self, capsys):
+        code = main(["fig14", "--preset", "tiny", "--seed", "3",
+                     "--datasets", "cora", "--pes", "16"])
+        assert code == 0
+        assert "Fig. 14" in capsys.readouterr().out
+
+    def test_fig14_spmm(self, capsys):
+        code = main(["fig14-spmm", "--preset", "tiny", "--seed", "3",
+                     "--datasets", "cora", "--pes", "16"])
+        assert code == 0
+        assert "ideal" in capsys.readouterr().out
+
+    def test_fig14_area(self, capsys):
+        code = main(["fig14-area", "--preset", "tiny", "--seed", "3",
+                     "--datasets", "cora", "--pes", "16"])
+        assert code == 0
+        assert "TQ" in capsys.readouterr().out
+
+    def test_fig15(self, capsys):
+        code = main(["fig15", "--preset", "tiny", "--seed", "3",
+                     "--datasets", "cora", "--pe-counts", "8,16"])
+        assert code == 0
+        assert "Fig. 15" in capsys.readouterr().out
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "summary", "--preset", "tiny",
+             "--seed", "3", "--datasets", "cora"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "cora/tiny" in proc.stdout

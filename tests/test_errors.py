@@ -1,0 +1,34 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    DatasetError,
+    FormatError,
+    ReproError,
+    ShapeError,
+    SimulationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc", [ShapeError, FormatError, ConfigError, SimulationError, DatasetError]
+)
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_value_errors_are_value_errors():
+    # Callers should be able to catch bad-input errors as ValueError.
+    for exc in (ShapeError, FormatError, ConfigError, DatasetError):
+        assert issubclass(exc, ValueError)
+
+
+def test_simulation_error_is_runtime_error():
+    assert issubclass(SimulationError, RuntimeError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ReproError):
+        raise FormatError("bad format")

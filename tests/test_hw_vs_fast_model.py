@@ -1,0 +1,92 @@
+"""Cross-validation: the detailed simulator vs the fast cycle model.
+
+The two models share the microarchitecture but differ in fidelity; on
+random small matrices their cycle counts must agree within a modest
+envelope (transport warm-up, arbitration noise), and their *relative*
+verdicts (does sharing help? who is the bottleneck?) must agree exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import ArchConfig, SpmmJob, simulate_spmm
+from repro.hw import simulate_spmm_detailed
+from repro.sparse import CooMatrix
+
+
+def build_matrix(rng, n_rows, n_cols, density, hot_rows=0):
+    dense = rng.normal(size=(n_rows, n_cols))
+    dense[rng.random(dense.shape) > density] = 0.0
+    if hot_rows:
+        dense[:hot_rows, :] = rng.normal(size=(hot_rows, n_cols))
+    return dense
+
+
+def run_both(dense, k, n_pes, hop, rng):
+    a = CooMatrix.from_dense(dense)
+    b = rng.normal(size=(dense.shape[1], k))
+    _result, detailed = simulate_spmm_detailed(
+        a, b, n_pes=n_pes, hop=hop, tdq="tdq2", mac_latency=1
+    )
+    job = SpmmJob(name="x", row_nnz=a.row_nnz(), n_rounds=k)
+    config = ArchConfig(
+        n_pes=n_pes, hop=hop, mac_latency=1, drain_cycles=0
+    )
+    fast = simulate_spmm(job, config)
+    return detailed, fast
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("hop", [0, 1, 2])
+    def test_cycles_within_envelope(self, rng, hop):
+        for _ in range(6):
+            dense = build_matrix(rng, 32, 24, 0.25)
+            detailed, fast = run_both(dense, 3, 8, hop, rng)
+            # The fast model is a lower-bound-style estimate; the
+            # detailed engine adds transport latency and arbitration
+            # noise. They must stay within ~2x and the detailed run can
+            # never beat the fast bound by more than the drain slack.
+            assert detailed.cycles >= fast.total_cycles * 0.7
+            assert detailed.cycles <= fast.total_cycles * 2.5 + 40 * 3
+
+    def test_relative_sharing_verdict_agrees(self, rng):
+        # Realistic MAC depth: the hot PE's RaW stalls build the queue
+        # backlog that lets the sharing heuristic engage (see the
+        # matching note in test_hw_engine).
+        dense = build_matrix(rng, 32, 40, 0.05, hot_rows=4)
+        a = CooMatrix.from_dense(dense)
+        b = rng.normal(size=(40, 2))
+        _r0, detailed_base = simulate_spmm_detailed(
+            a, b, n_pes=8, hop=0, mac_latency=5
+        )
+        _r1, detailed_share = simulate_spmm_detailed(
+            a, b, n_pes=8, hop=2, mac_latency=5
+        )
+        _d, fast_base = run_both(dense, 2, 8, 0, rng)
+        _d, fast_share = run_both(dense, 2, 8, 2, rng)
+        assert fast_share.total_cycles < fast_base.total_cycles
+        assert detailed_share.cycles < detailed_base.cycles
+
+    def test_utilization_direction_agrees(self, rng):
+        dense = build_matrix(rng, 32, 40, 0.05, hot_rows=4)
+        detailed, fast = run_both(dense, 2, 8, 0, rng)
+        assert fast.utilization < 0.75
+        assert detailed.utilization < 0.75
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    st.integers(0, 2),
+    st.integers(1, 3),
+    st.integers(10, 40),
+)
+def test_property_models_track_each_other(hop, k, seed):
+    rng = np.random.default_rng(seed)
+    dense = build_matrix(rng, 24, 16, 0.3)
+    if not dense.any():
+        return
+    detailed, fast = run_both(dense, k, 4, hop, rng)
+    assert detailed.cycles >= 0.6 * fast.total_cycles
+    assert detailed.cycles <= 2.5 * fast.total_cycles + 60 * k

@@ -1,0 +1,114 @@
+"""Reference kernels against dense numpy arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import (
+    CooMatrix,
+    coo_to_csc,
+    coo_to_csr,
+    spgemm_csr,
+    spmm_csc_dense,
+    spmm_csr_dense,
+    spmv_csr,
+    transpose_csr,
+)
+from repro.sparse.ops import _FLAT_KERNEL_THRESHOLD
+
+
+@pytest.fixture
+def operands(rng):
+    dense = rng.normal(size=(23, 17))
+    dense[rng.random(dense.shape) > 0.3] = 0.0
+    b = rng.normal(size=(17, 6))
+    return dense, b
+
+
+class TestSpmm:
+    def test_csc_dense_matches_numpy(self, operands):
+        dense, b = operands
+        csc = coo_to_csc(CooMatrix.from_dense(dense))
+        assert np.allclose(spmm_csc_dense(csc, b), dense @ b)
+
+    def test_csr_dense_matches_numpy(self, operands):
+        dense, b = operands
+        csr = coo_to_csr(CooMatrix.from_dense(dense))
+        assert np.allclose(spmm_csr_dense(csr, b), dense @ b)
+
+    def test_csc_column_loop_kernel(self, operands, monkeypatch):
+        # Force the large-matrix code path and check it agrees.
+        import repro.sparse.ops as ops
+
+        dense, b = operands
+        csc = coo_to_csc(CooMatrix.from_dense(dense))
+        monkeypatch.setattr(ops, "_FLAT_KERNEL_THRESHOLD", 0)
+        assert np.allclose(ops.spmm_csc_dense(csc, b), dense @ b)
+
+    def test_empty_matrix(self):
+        csc = coo_to_csc(CooMatrix.empty((4, 5)))
+        out = spmm_csc_dense(csc, np.ones((5, 2)))
+        assert np.array_equal(out, np.zeros((4, 2)))
+
+    def test_zero_columns_operand(self, operands):
+        dense, _ = operands
+        csc = coo_to_csc(CooMatrix.from_dense(dense))
+        out = spmm_csc_dense(csc, np.zeros((17, 0)))
+        assert out.shape == (23, 0)
+
+    def test_shape_mismatch_raises(self, operands):
+        dense, _ = operands
+        csc = coo_to_csc(CooMatrix.from_dense(dense))
+        with pytest.raises(ShapeError):
+            spmm_csc_dense(csc, np.ones((99, 2)))
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(ShapeError):
+            spmm_csc_dense(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_duplicate_accumulation_semantics(self):
+        # Two entries on the same row accumulate into the same output row
+        # through different columns — the RaW-hazard pattern in hardware.
+        dense = np.array([[1.0, 2.0], [0.0, 0.0]])
+        csc = coo_to_csc(CooMatrix.from_dense(dense))
+        b = np.array([[10.0], [100.0]])
+        assert np.allclose(spmm_csc_dense(csc, b), [[210.0], [0.0]])
+
+
+class TestSpmv:
+    def test_matches_numpy(self, operands):
+        dense, _ = operands
+        csr = coo_to_csr(CooMatrix.from_dense(dense))
+        x = np.arange(17, dtype=float)
+        assert np.allclose(spmv_csr(csr, x), dense @ x)
+
+    def test_length_mismatch_raises(self, operands):
+        dense, _ = operands
+        csr = coo_to_csr(CooMatrix.from_dense(dense))
+        with pytest.raises(ShapeError):
+            spmv_csr(csr, np.ones(3))
+
+
+class TestSpgemm:
+    def test_matches_numpy(self, rng):
+        a = rng.normal(size=(9, 7))
+        a[rng.random(a.shape) > 0.4] = 0.0
+        b = rng.normal(size=(7, 11))
+        b[rng.random(b.shape) > 0.4] = 0.0
+        a_csr = coo_to_csr(CooMatrix.from_dense(a))
+        b_csr = coo_to_csr(CooMatrix.from_dense(b))
+        out = spgemm_csr(a_csr, b_csr)
+        assert np.allclose(out.to_dense(), a @ b)
+
+    def test_inner_mismatch_raises(self, rng):
+        a = coo_to_csr(CooMatrix.from_dense(np.eye(3)))
+        b = coo_to_csr(CooMatrix.from_dense(np.eye(4)))
+        with pytest.raises(ShapeError):
+            spgemm_csr(a, b)
+
+
+class TestTranspose:
+    def test_matches_numpy(self, operands):
+        dense, _ = operands
+        csr = coo_to_csr(CooMatrix.from_dense(dense))
+        assert np.array_equal(transpose_csr(csr).to_dense(), dense.T)

@@ -6,6 +6,15 @@ switching), and prints latency, PE utilization and the speedup — the
 experiment behind the paper's Fig. 14(A).
 
 Run:  python examples/quickstart.py
+
+Serving
+-------
+This runs *one* inference. For the multi-graph serving scenario — a
+stream of requests scheduled across a pool of simulated accelerators,
+with converged Eq. 5 row maps cached per (graph, config) so repeat
+graphs skip the auto-tuner warm-up — see :mod:`repro.serve`,
+``examples/serving_traffic.py`` and the ``repro serve-bench`` CLI
+subcommand.
 """
 
 from repro import ArchConfig, GcnAccelerator, load_dataset

@@ -15,7 +15,9 @@ preprint titled UWB-GCN) as a pure-Python system:
   network, task queues, RaW-stalling MAC pipelines) for validation;
 * :mod:`repro.baselines`— CPU / GPU / EIE-like comparison platforms and
   the energy model;
-* :mod:`repro.analysis` — regeneration of every table and figure.
+* :mod:`repro.analysis` — regeneration of every table and figure;
+* :mod:`repro.serve`    — batched multi-graph inference serving with
+  autotune caching (scheduler, accelerator pool, ``repro serve-bench``).
 
 Quickstart::
 
@@ -39,6 +41,13 @@ from repro.datasets import GcnDataset, build_dataset, load_dataset
 from repro.errors import ReproError
 from repro.hw import simulate_spmm_detailed
 from repro.model import GcnModel, build_model
+from repro.serve import (
+    AutotuneCache,
+    InferenceRequest,
+    InferenceService,
+    serve_requests,
+    synthetic_traffic,
+)
 from repro.sparse import CooMatrix, CscMatrix, CsrMatrix
 
 __version__ = "1.0.0"
@@ -57,6 +66,11 @@ __all__ = [
     "simulate_spmm_detailed",
     "GcnModel",
     "build_model",
+    "AutotuneCache",
+    "InferenceRequest",
+    "InferenceService",
+    "serve_requests",
+    "synthetic_traffic",
     "CooMatrix",
     "CscMatrix",
     "CsrMatrix",

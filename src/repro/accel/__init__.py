@@ -31,10 +31,17 @@ from repro.accel.workload import (
     per_pe_max_row,
 )
 from repro.accel.localshare import share_makespan, share_window_bounds
-from repro.accel.remote import RemoteAutoTuner, TrackedTuple
-from repro.accel.cyclemodel import SpmmJob, SpmmResult, simulate_spmm
+from repro.accel.remote import RemoteAutoTuner, TrackedTuple, TuningOutcome
+from repro.accel.cyclemodel import (
+    SpmmJob,
+    SpmmResult,
+    simulate_spmm,
+    simulate_spmm_frozen,
+)
 from repro.accel.gcnaccel import (
     AcceleratorReport,
+    CachedStage,
+    CachedTuning,
     GcnAccelerator,
     LayerTiming,
     build_spmm_jobs,
@@ -58,10 +65,14 @@ __all__ = [
     "share_window_bounds",
     "RemoteAutoTuner",
     "TrackedTuple",
+    "TuningOutcome",
     "SpmmJob",
     "SpmmResult",
     "simulate_spmm",
+    "simulate_spmm_frozen",
     "AcceleratorReport",
+    "CachedStage",
+    "CachedTuning",
     "GcnAccelerator",
     "LayerTiming",
     "build_spmm_jobs",

@@ -97,11 +97,30 @@ class SpmmResult:
     model provisions in total TQ slots."""
     final_owner: np.ndarray
     """Row->PE map after tuning (reused by later SPMMs on the same matrix)."""
+    tuned: bool = False
+    """Whether the Eq. 5 auto-tuner drove this run. Distinguishes an
+    unconverged tuning run (every round is warm-up) from a static map
+    (no warm-up at all) when extracting :attr:`warmup_costs`."""
 
     @property
     def work_per_round(self):
         """MAC tasks per round."""
         return self.total_work // self.n_rounds
+
+    @property
+    def warmup_costs(self):
+        """Per-round cycle costs of the not-yet-converged prefix.
+
+        Everything :func:`simulate_spmm_frozen` needs (together with
+        ``final_owner``) to replay this result exactly: the rounds before
+        convergence, or every round when the tuner never froze. Static
+        runs have no warm-up — all rounds already cost the same.
+        """
+        if self.converged_round is not None:
+            return tuple(int(c) for c in self.cycles_per_round[:self.converged_round])
+        if self.tuned:
+            return tuple(int(c) for c in self.cycles_per_round)
+        return ()
 
     @property
     def total_cycles(self):
@@ -157,9 +176,9 @@ def simulate_spmm(job, config, *, initial_owner=None):
     max_backlog = 0
     converged_round = None
     round_idx = 0
-    makespan = ideal
+    hall_for_backlog = None
     while round_idx < job.n_rounds:
-        makespan = _round_makespan(assignment, config)
+        makespan, hall = _round_makespan_parts(assignment, config)
         backlog = max(0, makespan - ideal)
         if backlog > max_backlog:
             max_backlog = backlog
@@ -172,11 +191,16 @@ def simulate_spmm(job, config, *, initial_owner=None):
             round_idx += 1
             continue
         # Static map (no tuner, or frozen): all remaining rounds are
-        # identical — fill and stop iterating.
+        # identical — fill and stop iterating. Only here is the Hall
+        # bound known to describe the *final* map (the tuner can still
+        # mutate the assignment when the rounds run out mid-tuning).
         cycles[round_idx:] = cost
+        hall_for_backlog = hall
         break
 
-    per_pe_backlog = _steady_state_backlog(assignment, config, ideal)
+    per_pe_backlog = _steady_state_backlog(
+        assignment, config, ideal, hall_bound=hall_for_backlog
+    )
     return SpmmResult(
         job_name=job.name,
         n_rounds=job.n_rounds,
@@ -189,22 +213,93 @@ def simulate_spmm(job, config, *, initial_owner=None):
         final_backlog=int(per_pe_backlog.max()) if per_pe_backlog.size else 0,
         total_backlog=int(per_pe_backlog.sum()),
         final_owner=assignment.snapshot(),
+        tuned=tuner is not None,
     )
 
 
-def _steady_state_backlog(assignment, config, ideal):
+def simulate_spmm_frozen(job, config, owner, *, warmup_costs=(),
+                         converged_round=None, final_backlog=None,
+                         total_backlog=None):
+    """Evaluate an SPMM under a known-good frozen row->PE map.
+
+    The fast path behind :class:`~repro.serve.AutotuneCache` hits: instead
+    of driving the Eq. 5 tuner round by round, evaluate the cached
+    ``owner`` map once (one vectorized makespan) and fill every
+    post-convergence round with that cost. ``warmup_costs`` replays the
+    recorded pre-convergence rounds verbatim, so the returned
+    :class:`SpmmResult` is cycle-identical to the cold
+    :func:`simulate_spmm` run that produced the cache entry — the
+    tuner's O(rounds) control loop and row shuffling are skipped
+    entirely.
+
+    ``final_backlog``/``total_backlog`` optionally supply the cached
+    steady-state queue statistics (pure functions of ``owner`` and
+    ``config``); when omitted they are recomputed via the EDF transport.
+    """
+    if not isinstance(job, SpmmJob):
+        raise ConfigError(f"job must be SpmmJob, got {type(job).__name__}")
+    if not isinstance(config, ArchConfig):
+        raise ConfigError(
+            f"config must be ArchConfig, got {type(config).__name__}"
+        )
+    assignment = RowAssignment(job.row_nnz, config.n_pes, owner=owner)
+    ideal = -(-job.work_per_round // config.n_pes)
+    drain = config.drain_cycles
+
+    warmup = np.asarray(warmup_costs, dtype=np.int64)
+    if warmup.size > job.n_rounds:
+        raise ConfigError(
+            f"warmup_costs has {warmup.size} rounds but the job only runs "
+            f"{job.n_rounds}"
+        )
+    cycles = np.empty(job.n_rounds, dtype=np.int64)
+    cycles[:warmup.size] = warmup
+    makespans_seen = warmup - drain
+    hall = None
+    if warmup.size < job.n_rounds:
+        frozen_makespan, hall = _round_makespan_parts(assignment, config)
+        cycles[warmup.size:] = frozen_makespan + drain
+        makespans_seen = np.append(makespans_seen, frozen_makespan)
+    max_backlog = (
+        max(0, int(makespans_seen.max()) - ideal) if makespans_seen.size else 0
+    )
+
+    if final_backlog is None or total_backlog is None:
+        per_pe_backlog = _steady_state_backlog(
+            assignment, config, ideal, hall_bound=hall
+        )
+        final_backlog = int(per_pe_backlog.max()) if per_pe_backlog.size else 0
+        total_backlog = int(per_pe_backlog.sum())
+    return SpmmResult(
+        job_name=job.name,
+        n_rounds=job.n_rounds,
+        cycles_per_round=cycles,
+        ideal_cycles_per_round=ideal,
+        total_work=job.total_work,
+        n_pes=config.n_pes,
+        converged_round=converged_round,
+        max_queue_backlog=int(max_backlog),
+        final_backlog=int(final_backlog),
+        total_backlog=int(total_backlog),
+        final_owner=assignment.snapshot(),
+    )
+
+
+def _steady_state_backlog(assignment, config, ideal, *, hall_bound=None):
     """Per-PE queue occupancy in the converged steady state.
 
     Tasks for an executing PE arrive roughly uniformly over the dispatch
     window (~``ideal`` cycles at full network bandwidth) while the PE
     drains one per cycle, so its queue peaks near ``executed - ideal``.
     ``executed`` is the water-filling effective load under local sharing.
+    ``hall_bound`` optionally forwards an already-evaluated
+    ``share_makespan(loads, hop)`` for these exact loads.
     """
     from repro.accel.localshare import share_effective_loads
 
     loads = assignment.loads
     if config.hop > 0:
-        executed = share_effective_loads(loads, config.hop)
+        executed = share_effective_loads(loads, config.hop, cap=hall_bound)
     else:
         executed = loads.astype(np.float64)
     backlog = np.maximum(executed - ideal, 0.0)
@@ -213,12 +308,23 @@ def _steady_state_backlog(assignment, config, ideal):
 
 def _round_makespan(assignment, config):
     """Cycle count of one round under the current row->PE map."""
+    makespan, _hall = _round_makespan_parts(assignment, config)
+    return makespan
+
+
+def _round_makespan_parts(assignment, config):
+    """``(makespan, hall_bound)`` of one round under the current map.
+
+    ``hall_bound`` is the unscaled local-sharing bound
+    (``share_makespan(loads, hop)`` at efficiency 1), returned alongside
+    so callers can reuse it for the steady-state backlog without a second
+    Hall evaluation.
+    """
     loads = assignment.loads
-    span = share_makespan(
-        loads, config.hop, efficiency=config.sharing_efficiency
-    )
+    hall = share_makespan(loads, config.hop)
+    span = int(np.ceil(hall / config.sharing_efficiency))
     raw_bound = _raw_hazard_bound(assignment, config)
-    return max(int(span), raw_bound)
+    return max(span, raw_bound), int(hall)
 
 
 def _raw_hazard_bound(assignment, config):

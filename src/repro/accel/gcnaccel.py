@@ -16,12 +16,18 @@ matrix never changes, so re-tuning from scratch would waste rounds.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.accel.config import ArchConfig
-from repro.accel.cyclemodel import SpmmJob, SpmmResult, simulate_spmm
+from repro.accel.cyclemodel import (
+    SpmmJob,
+    SpmmResult,
+    simulate_spmm,
+    simulate_spmm_frozen,
+)
 from repro.errors import ConfigError
 
 
@@ -60,6 +66,71 @@ class LayerTiming:
 
 
 @dataclass(frozen=True)
+class CachedStage:
+    """The cacheable outcome of one SPMM stage's auto-tuning.
+
+    ``owner`` is the frozen row->PE map, ``warmup_costs`` the per-round
+    cycle costs of the pre-convergence prefix, ``converged_round`` the
+    round the Eq. 5 tuner froze at (None for static maps or unconverged
+    runs). Together they let :func:`simulate_spmm_frozen` replay the
+    stage cycle-identically without re-running the tuner. The two
+    steady-state queue statistics are pure functions of (owner, config);
+    caching them spares the replay the EDF transport recomputation.
+    """
+
+    owner: np.ndarray
+    warmup_costs: tuple
+    converged_round: object  # int | None
+    final_backlog: int
+    total_backlog: int
+
+
+@dataclass(frozen=True)
+class CachedTuning:
+    """Per-stage :class:`CachedStage` entries of one full inference.
+
+    The value type of :class:`repro.serve.AutotuneCache`: ``layers``
+    mirrors the accelerator's job structure (one tuple of stages per
+    GCN layer).
+    """
+
+    layers: tuple
+
+    def matches(self, jobs):
+        """Whether this entry structurally fits ``jobs`` (defensive:
+        a stale or colliding cache entry must fall back to a cold run)."""
+        if len(self.layers) != len(jobs):
+            return False
+        for cached_stages, stage_jobs in zip(self.layers, jobs):
+            if len(cached_stages) != len(stage_jobs):
+                return False
+            for stage, job in zip(cached_stages, stage_jobs):
+                if stage.owner.size != job.row_nnz.size:
+                    return False
+                if len(stage.warmup_costs) > job.n_rounds:
+                    return False
+        return True
+
+    @classmethod
+    def from_report(cls, report):
+        """Extract the cacheable tuning state from a cold run's report."""
+        layers = tuple(
+            tuple(
+                CachedStage(
+                    owner=result.final_owner,
+                    warmup_costs=result.warmup_costs,
+                    converged_round=result.converged_round,
+                    final_backlog=result.final_backlog,
+                    total_backlog=result.total_backlog,
+                )
+                for result in layer.stages
+            )
+            for layer in report.layers
+        )
+        return cls(layers=layers)
+
+
+@dataclass(frozen=True)
 class AcceleratorReport:
     """End-to-end inference outcome for one design on one dataset."""
 
@@ -67,6 +138,9 @@ class AcceleratorReport:
     config: ArchConfig
     layers: list
     total_cycles: int
+    cache_hit: bool = False
+    """True when this report was replayed from a cached tuning entry
+    (the frozen fast path) instead of driving the auto-tuner."""
 
     @property
     def spmm_results(self):
@@ -111,7 +185,10 @@ def build_spmm_jobs(dataset, *, x2_row_nnz=None, a_hops=1):
     """
     if not isinstance(a_hops, int) or a_hops < 1:
         raise ConfigError(f"a_hops must be a positive int, got {a_hops}")
-    a_row_nnz = dataset.adjacency.row_nnz()
+    if hasattr(dataset, "adjacency_row_nnz"):
+        a_row_nnz = dataset.adjacency_row_nnz()
+    else:
+        a_row_nnz = dataset.adjacency.row_nnz()
     _f1, f2, f3 = dataset.feature_dims
     if x2_row_nnz is None:
         x2_row_nnz = dataset.x2_row_nnz
@@ -188,6 +265,11 @@ class GcnAccelerator:
             dataset, x2_row_nnz=x2_row_nnz, a_hops=a_hops
         )
         self._name = getattr(dataset, "name", "custom")
+        self._fingerprint = None
+        # The dataset fingerprint is memoized on the dataset object, so
+        # deriving from it makes repeat requests near-free; an explicit
+        # x2 override changes the workload and forces the slow job hash.
+        self._dataset_key = (dataset, a_hops) if x2_row_nnz is None else None
 
     @classmethod
     def from_jobs(cls, jobs, config, *, name="custom"):
@@ -201,10 +283,69 @@ class GcnAccelerator:
         instance.config = config
         instance.jobs = list(jobs)
         instance._name = name
+        instance._fingerprint = None
+        instance._dataset_key = None
         return instance
 
-    def run(self):
-        """Simulate full inference; returns an :class:`AcceleratorReport`."""
+    def fingerprint(self):
+        """Structural hash of the workload (not the config).
+
+        Covers everything the cycle model consumes — per-stage row-nnz
+        profiles, round counts, TDQ type and the layer structure — so two
+        accelerators with equal fingerprints and equal configs produce
+        identical reports. This is the graph half of the
+        :class:`repro.serve.AutotuneCache` key. Dataset-backed
+        accelerators derive it from the memoized
+        :func:`~repro.datasets.registry.dataset_fingerprint`; job-list
+        accelerators hash the jobs directly (the two derivations name
+        the same workload under different digests, which is fine — a
+        cache key only needs to be deterministic).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            if self._dataset_key is not None:
+                from repro.datasets.registry import dataset_fingerprint
+
+                dataset, a_hops = self._dataset_key
+                digest.update(dataset_fingerprint(dataset).encode())
+                digest.update(np.int64(a_hops).tobytes())
+            else:
+                for stage_jobs in self.jobs:
+                    digest.update(b"layer:")
+                    for job in stage_jobs:
+                        digest.update(job.name.encode())
+                        digest.update(job.tdq.encode())
+                        digest.update(np.int64(job.n_rounds).tobytes())
+                        digest.update(
+                            np.ascontiguousarray(job.row_nnz).tobytes()
+                        )
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def run(self, *, cache=None):
+        """Simulate full inference; returns an :class:`AcceleratorReport`.
+
+        ``cache`` is an optional :class:`repro.serve.AutotuneCache` (any
+        object with ``lookup(fingerprint, config)`` / ``store(...)``). On
+        a hit the report is replayed through the frozen fast path — the
+        auto-tuner warm-up is skipped entirely, yet the cycle counts are
+        identical to the cold run that populated the entry. On a miss the
+        cold run's tuning state is stored for the next request.
+        """
+        fingerprint = None
+        if cache is not None:
+            fingerprint = self.fingerprint()
+            entry = cache.lookup(fingerprint, self.config)
+            if entry is not None and entry.matches(self.jobs):
+                return self._run_cached(entry)
+        report = self._run_cold()
+        if cache is not None:
+            cache.store(fingerprint, self.config,
+                        CachedTuning.from_report(report))
+        return report
+
+    def _run_cold(self):
+        """Full simulation: drive the auto-tuner on every stage."""
         layers = []
         total = 0
         a_owner = None
@@ -220,23 +361,55 @@ class GcnAccelerator:
                 if is_a_stage:
                     a_owner = result.final_owner
                 results.append(result)
-            if self.config.pipeline_spmm:
-                layer_cycles = _pipeline_cycles(results, self.config)
-            else:
-                layer_cycles = sum(r.total_cycles for r in results)
-            layers.append(
-                LayerTiming(
-                    stages=tuple(results),
-                    pipelined_cycles=int(layer_cycles),
-                )
-            )
-            total += int(layer_cycles)
+            layer_timing, layer_cycles = self._layer_timing(results)
+            layers.append(layer_timing)
+            total += layer_cycles
         return AcceleratorReport(
             dataset=self._name,
             config=self.config,
             layers=layers,
             total_cycles=total,
         )
+
+    def _run_cached(self, entry):
+        """Replay a :class:`CachedTuning` entry through the frozen path."""
+        layers = []
+        total = 0
+        for stage_jobs, cached_stages in zip(self.jobs, entry.layers):
+            results = [
+                simulate_spmm_frozen(
+                    job,
+                    self.config,
+                    stage.owner,
+                    warmup_costs=stage.warmup_costs,
+                    converged_round=stage.converged_round,
+                    final_backlog=stage.final_backlog,
+                    total_backlog=stage.total_backlog,
+                )
+                for job, stage in zip(stage_jobs, cached_stages)
+            ]
+            layer_timing, layer_cycles = self._layer_timing(results)
+            layers.append(layer_timing)
+            total += layer_cycles
+        return AcceleratorReport(
+            dataset=self._name,
+            config=self.config,
+            layers=layers,
+            total_cycles=total,
+            cache_hit=True,
+        )
+
+    def _layer_timing(self, results):
+        """Fold one layer's stage results into a :class:`LayerTiming`."""
+        if self.config.pipeline_spmm:
+            layer_cycles = _pipeline_cycles(results, self.config)
+        else:
+            layer_cycles = sum(r.total_cycles for r in results)
+        timing = LayerTiming(
+            stages=tuple(results),
+            pipelined_cycles=int(layer_cycles),
+        )
+        return timing, int(layer_cycles)
 
 
 def _pipeline_cycles(stage_results, config):
@@ -261,18 +434,17 @@ def _pipeline_cycles(stage_results, config):
     works = [r.work_per_round for r in stage_results]
     max_rounds = max(m.size for m in makespans)
     n_slots = max_rounds + n_stages - 1
-    total = 0
-    for j in range(n_slots):
-        slot = 0
-        active_work = 0
-        active = 0
-        for s in range(n_stages):
-            col = j - s
-            if 0 <= col < makespans[s].size:
-                slot = max(slot, int(makespans[s][col]))
-                active_work += works[s]
-                active += 1
-        if active > 1:
-            slot = max(slot, -(-active_work // config.n_pes))
-        total += slot
-    return total + n_slots * drain
+    # Lay stage s's per-column makespans onto the slot axis at offset s
+    # (slot j sees stage s working column j - s); idle cells stay 0 and
+    # cannot win the max since real makespans are non-negative.
+    grid = np.zeros((n_stages, n_slots), dtype=np.int64)
+    active = np.zeros((n_stages, n_slots), dtype=bool)
+    for s, stage_makespans in enumerate(makespans):
+        grid[s, s:s + stage_makespans.size] = stage_makespans
+        active[s, s:s + stage_makespans.size] = True
+    slot_cost = grid.max(axis=0)
+    slot_work = (np.asarray(works, dtype=np.int64)[:, None] * active).sum(axis=0)
+    work_bound = -(-slot_work // config.n_pes)
+    multi = active.sum(axis=0) > 1
+    slot_cost = np.where(multi, np.maximum(slot_cost, work_bound), slot_cost)
+    return int(slot_cost.sum()) + n_slots * drain

@@ -10,6 +10,7 @@ Usage::
     python -m repro fig14-spmm
     python -m repro fig14-area
     python -m repro fig15 [--pe-counts 512,768,1024]
+    python -m repro serve-bench [--requests 96] [--graphs 4]
     python -m repro summary           # dataset inventory
 
 Each command prints the rendered table; ``--out DIR`` additionally
@@ -74,6 +75,24 @@ def build_parser():
     add_common(sub.add_parser("fig15", help="PE-count scalability"),
                pe_counts=True)
     add_common(sub.add_parser("summary", help="dataset inventory"))
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="batched multi-graph serving: autotune-cache throughput",
+    )
+    serve.add_argument("--requests", type=int, default=96,
+                       help="requests in the mix (default: 96)")
+    serve.add_argument("--graphs", type=int, default=4,
+                       help="unique RMAT graphs (default: 4)")
+    serve.add_argument("--nodes", type=int, default=16384,
+                       help="nodes per graph (default: 16384)")
+    serve.add_argument("--pes", type=int, default=192,
+                       help="PE count of the serving config (default: 192)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="simulated accelerator instances (default: 2)")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--out", default=None, metavar="DIR",
+                       help="also write rows as CSV under DIR")
     return parser
 
 
@@ -95,6 +114,20 @@ def _emit(args, name, rows, text):
 def main(argv=None):
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "serve-bench":
+        from repro.serve import compare_caching
+
+        rows, text = compare_caching(
+            n_requests=args.requests,
+            n_graphs=args.graphs,
+            n_nodes=args.nodes,
+            n_pes=args.pes,
+            n_workers=args.workers,
+            seed=args.seed,
+        )
+        return _emit(args, "serve_bench", rows, text)
+
     datasets = _dataset_list(args)
     common = {"preset": args.preset, "seed": args.seed, "datasets": datasets}
 

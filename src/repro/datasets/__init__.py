@@ -23,7 +23,7 @@ from repro.datasets.specs import (
     dataset_names,
     get_spec,
 )
-from repro.datasets.rmat import rmat_edges
+from repro.datasets.rmat import edges_fingerprint, rmat_edges
 from repro.datasets.normalize import gcn_normalize, add_self_loops
 from repro.datasets.features import (
     sparse_feature_matrix,
@@ -31,7 +31,7 @@ from repro.datasets.features import (
     sample_row_nnz,
 )
 from repro.datasets.synthetic import GcnDataset, build_dataset
-from repro.datasets.registry import load_dataset
+from repro.datasets.registry import dataset_fingerprint, load_dataset
 from repro.datasets.io import load_dataset_file, save_dataset
 
 __all__ = [
@@ -41,6 +41,8 @@ __all__ = [
     "dataset_names",
     "get_spec",
     "rmat_edges",
+    "edges_fingerprint",
+    "dataset_fingerprint",
     "gcn_normalize",
     "add_self_loops",
     "sparse_feature_matrix",

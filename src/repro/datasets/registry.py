@@ -1,12 +1,21 @@
-"""Dataset registry with in-process caching.
+"""Dataset registry with in-process caching and graph fingerprinting.
 
 Building the Reddit-scale adjacency takes seconds; benchmarks and tests
 ask for the same dataset many times, so :func:`load_dataset` memoizes on
 ``(name, preset, seed, materialize)``. The cache can be cleared for
 memory-sensitive runs.
+
+:func:`dataset_fingerprint` hashes exactly the dataset properties the
+cycle models consume, giving the serving layer a content-addressed key:
+two datasets with equal fingerprints produce identical accelerator
+reports under any config, regardless of how they were named or built.
 """
 
 from __future__ import annotations
+
+import hashlib
+
+import numpy as np
 
 from repro.datasets.specs import get_spec
 from repro.datasets.synthetic import build_dataset
@@ -33,6 +42,40 @@ def load_dataset(name, preset="scaled", *, seed=7, materialize=None):
             spec.name, preset, seed=seed, materialize=materialize
         )
     return _CACHE[key]
+
+
+def dataset_fingerprint(dataset):
+    """Content hash of the workload-defining properties of a dataset.
+
+    Covers the adjacency's per-row non-zero profile, both layer input
+    profiles and the layer dimensions — the complete input surface of
+    :class:`~repro.accel.GcnAccelerator`. Feature *values* are excluded
+    on purpose: the cycle models are value-oblivious, so pattern-only and
+    materialized builds of the same graph fingerprint identically.
+
+    The digest is memoized on the dataset object (datasets are frozen,
+    so it can never go stale).
+    """
+    cached = getattr(dataset, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    f1, f2, f3 = dataset.feature_dims
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.int64(dataset.n_nodes).tobytes())
+    digest.update(np.array([f1, f2, f3], dtype=np.int64).tobytes())
+    if hasattr(dataset, "adjacency_row_nnz"):
+        a_row_nnz = dataset.adjacency_row_nnz()
+    else:
+        a_row_nnz = dataset.adjacency.row_nnz()
+    for arr in (
+        a_row_nnz,
+        np.asarray(dataset.x1_row_nnz, dtype=np.int64),
+        np.asarray(dataset.x2_row_nnz, dtype=np.int64),
+    ):
+        digest.update(np.ascontiguousarray(arr).tobytes())
+    fingerprint = digest.hexdigest()
+    object.__setattr__(dataset, "_fingerprint", fingerprint)
+    return fingerprint
 
 
 def clear_dataset_cache():

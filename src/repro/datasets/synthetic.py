@@ -78,6 +78,19 @@ class GcnDataset:
         """True when X1 values were materialized (numeric inference runs)."""
         return self.features is not None
 
+    def adjacency_row_nnz(self):
+        """Per-row non-zero counts of A, memoized on the dataset.
+
+        The serving layer builds an accelerator per request over the
+        same (immutable) dataset; caching the bincount keeps repeat
+        requests O(1) in graph size.
+        """
+        cached = self.__dict__.get("_a_row_nnz")
+        if cached is None:
+            cached = self.adjacency.row_nnz()
+            object.__setattr__(self, "_a_row_nnz", cached)
+        return cached
+
     def layer_dims(self):
         """Per-layer (n, in_features, out_features) tuples."""
         f1, f2, f3 = self.feature_dims

@@ -1,0 +1,64 @@
+"""Batched multi-graph inference serving on the AWB-GCN model.
+
+The paper simulates one graph per run; production GNN serving answers a
+*stream* of requests over many graphs and architectures. This package
+adds that layer:
+
+* :mod:`repro.serve.request`   — request/result types;
+* :mod:`repro.serve.scheduler` — FIFO admission queue + config-affinity
+  batch scheduler;
+* :mod:`repro.serve.cache`     — the :class:`AutotuneCache`: converged
+  Eq. 5 row maps keyed by (workload fingerprint, arch config), with
+  ``.npz`` persistence, so repeat graphs skip the auto-tuner warm-up via
+  the frozen fast path of
+  :func:`~repro.accel.cyclemodel.simulate_spmm_frozen`;
+* :mod:`repro.serve.service`   — the :class:`InferenceService` driving a
+  pool of simulated accelerator instances;
+* :mod:`repro.serve.traffic`   — fixed-seed RMAT request mixes for the
+  serving benchmarks (``repro serve-bench``,
+  ``benchmarks/bench_serve_throughput.py``).
+
+Quickstart::
+
+    from repro.serve import InferenceService, synthetic_traffic
+
+    service = InferenceService(n_workers=2, cache=True)
+    service.submit_many(synthetic_traffic(32, n_graphs=4, seed=7))
+    outcome = service.drain()
+    print(outcome.stats.hit_rate, outcome.stats.requests_per_second)
+"""
+
+from repro.serve.bench import compare_caching, default_serving_config
+from repro.serve.cache import AutotuneCache, CacheStats
+from repro.serve.request import InferenceRequest, InferenceResult
+from repro.serve.scheduler import Batch, RequestQueue, Scheduler
+from repro.serve.service import (
+    InferenceService,
+    ServeOutcome,
+    ServiceStats,
+    serve_requests,
+)
+from repro.serve.traffic import (
+    RmatGraphSpec,
+    clear_graph_cache,
+    synthetic_traffic,
+)
+
+__all__ = [
+    "compare_caching",
+    "default_serving_config",
+    "AutotuneCache",
+    "CacheStats",
+    "InferenceRequest",
+    "InferenceResult",
+    "Batch",
+    "RequestQueue",
+    "Scheduler",
+    "InferenceService",
+    "ServeOutcome",
+    "ServiceStats",
+    "serve_requests",
+    "RmatGraphSpec",
+    "clear_graph_cache",
+    "synthetic_traffic",
+]

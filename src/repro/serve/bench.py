@@ -1,0 +1,118 @@
+"""The serving-throughput comparison behind ``repro serve-bench``.
+
+Runs the same repeated-graph RMAT request mix through the
+:class:`~repro.serve.InferenceService` twice — autotune cache disabled,
+then enabled — and reports wall-clock throughput, hit rate and the
+cache speedup, verifying along the way that cache-hit results are
+cycle-identical to the cold runs (the cache must never change model
+semantics, only simulation cost).
+"""
+
+from __future__ import annotations
+
+from repro.accel.config import ArchConfig
+from repro.analysis.report import ascii_table
+from repro.serve.service import serve_requests
+from repro.serve.traffic import synthetic_traffic
+
+# The default mix: graphs large enough that Eq. 5 tuning dominates a
+# cold request, served under a config whose damped, patient tuner takes
+# realistically many rounds to converge (the regime where GNNIE-style
+# decision caching pays).
+DEFAULT_GRAPH_KWARGS = {"f2": 96}
+
+
+def default_serving_config(n_pes=192):
+    """The arch config the serving mix is simulated under."""
+    return ArchConfig(
+        n_pes=n_pes,
+        hop=1,
+        remote_switching=True,
+        convergence_patience=4,
+        switch_damping=0.7,
+    )
+
+
+def compare_caching(*, n_requests=96, n_graphs=4, n_nodes=16384, seed=7,
+                    n_workers=2, n_pes=192, configs=None, graph_kwargs=None):
+    """Serve one mix with and without the cache; returns ``(rows, text)``.
+
+    ``rows`` has one dict per mode (``no-cache`` / ``cache``) plus the
+    derived comparison row carrying the speedup and the cycle-identity
+    verdict; ``text`` is the rendered table with a summary line.
+    """
+    if configs is None:
+        configs = (default_serving_config(n_pes),)
+    if graph_kwargs is None:
+        graph_kwargs = dict(DEFAULT_GRAPH_KWARGS)
+    requests = synthetic_traffic(
+        n_requests, n_graphs=n_graphs, n_nodes=n_nodes, seed=seed,
+        configs=configs, graph_kwargs=graph_kwargs,
+    )
+    # Materialize the graph pool up front: dataset construction is
+    # identical in both modes and must not pollute the comparison.
+    for request in requests:
+        request.resolve_graph()
+
+    outcomes = {}
+    for mode, cache in (("no-cache", None), ("cache", True)):
+        outcomes[mode] = serve_requests(
+            requests, n_workers=n_workers, cache=cache
+        )
+
+    cold, warm = outcomes["no-cache"], outcomes["cache"]
+    identical = all(
+        a.total_cycles == b.total_cycles and a.utilization == b.utilization
+        for a, b in zip(cold.results, warm.results)
+    )
+    speedup = (
+        cold.stats.wall_seconds / warm.stats.wall_seconds
+        if warm.stats.wall_seconds else float("inf")
+    )
+
+    rows = []
+    for mode in ("no-cache", "cache"):
+        stats = outcomes[mode].stats
+        rows.append({
+            "mode": mode,
+            "requests": stats.n_requests,
+            "batches": stats.n_batches,
+            "cache_hits": stats.cache_hits,
+            "hit_rate": round(stats.hit_rate, 4),
+            "wall_s": round(stats.wall_seconds, 4),
+            "req_per_s": round(stats.requests_per_second, 2),
+            "total_cycles": stats.total_cycles,
+            "mean_util": round(stats.mean_utilization, 4),
+        })
+    rows.append({
+        "mode": "speedup",
+        "requests": n_requests,
+        "batches": "-",
+        "cache_hits": "-",
+        "hit_rate": "-",
+        "wall_s": "-",
+        "req_per_s": round(speedup, 2),
+        "total_cycles": "identical" if identical else "MISMATCH",
+        "mean_util": "-",
+    })
+
+    table = ascii_table(
+        ["mode", "requests", "batches", "hits", "hit rate", "wall (s)",
+         "req/s", "total cycles", "mean util"],
+        [[r["mode"], r["requests"], r["batches"], r["cache_hits"],
+          r["hit_rate"], r["wall_s"], r["req_per_s"], r["total_cycles"],
+          r["mean_util"]] for r in rows],
+        title=(
+            f"Serving throughput: {n_requests} requests over {n_graphs} "
+            f"RMAT graphs ({n_nodes} nodes, {n_pes} PEs, "
+            f"{n_workers} instances)"
+        ),
+    )
+    verdict = "cycle-identical" if identical else "CYCLE MISMATCH (bug!)"
+    text = (
+        f"{table}\n"
+        f"autotune-cache speedup: {speedup:.2f}x "
+        f"(hit rate {warm.stats.hit_rate:.1%}); "
+        f"cache-hit results are {verdict} to cold runs"
+    )
+    return rows, text

@@ -1,0 +1,189 @@
+"""The autotune cache: converged row maps keyed by (graph, config).
+
+The Eq. 5 auto-tuner spends its first rounds probing hotspots and
+migrating rows; once converged, the map is optimal for that (sparse
+matrix, architecture) pair forever — the matrix does not change between
+requests. :class:`AutotuneCache` therefore memoizes the per-stage
+converged :class:`~repro.accel.workload.RowAssignment` maps (plus the
+recorded warm-up cycle trace) under a ``(workload fingerprint,
+ArchConfig)`` key. A repeat graph skips the tuner loop entirely and goes
+through the vectorized frozen fast path of
+:func:`~repro.accel.cyclemodel.simulate_spmm_frozen`, producing a report
+cycle-identical to the cold run at a fraction of the simulation cost.
+
+Entries survive the process: :meth:`AutotuneCache.save` writes a single
+``.npz`` archive (owner maps as arrays, everything else as an embedded
+JSON index) and :meth:`AutotuneCache.load` restores it, so a service
+restart starts warm.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.accel.config import ArchConfig
+from repro.accel.gcnaccel import CachedStage, CachedTuning
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one :class:`AutotuneCache`."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def lookups(self):
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        """Fraction of lookups answered from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class AutotuneCache:
+    """Persistent map from (workload fingerprint, config) to tuning state.
+
+    The stored value is a :class:`~repro.accel.CachedTuning`: one frozen
+    owner map + warm-up trace per SPMM stage of the inference.
+    :meth:`lookup` and :meth:`store` are the hook surface
+    :meth:`~repro.accel.GcnAccelerator.run` drives; the service never
+    touches entries directly.
+    """
+
+    def __init__(self):
+        self._entries = {}
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    @staticmethod
+    def key(fingerprint, config):
+        """The composite cache key for a workload/config pair."""
+        if not isinstance(config, ArchConfig):
+            raise ConfigError(
+                f"config must be ArchConfig, got {type(config).__name__}"
+            )
+        return (str(fingerprint), config)
+
+    def lookup(self, fingerprint, config):
+        """Return the cached :class:`CachedTuning` or None (counted)."""
+        entry = self._entries.get(self.key(fingerprint, config))
+        if entry is None:
+            self._misses += 1
+        else:
+            self._hits += 1
+        return entry
+
+    def store(self, fingerprint, config, entry):
+        """Insert (or overwrite) the tuning state for a key."""
+        if not isinstance(entry, CachedTuning):
+            raise ConfigError(
+                f"entry must be CachedTuning, got {type(entry).__name__}"
+            )
+        self._entries[self.key(fingerprint, config)] = entry
+
+    def clear(self):
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def stats(self):
+        """Current :class:`CacheStats`."""
+        return CacheStats(
+            hits=self._hits, misses=self._misses, entries=len(self._entries)
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path):
+        """Write every entry to ``path`` as a single ``.npz`` archive.
+
+        Owner maps go in as arrays; fingerprints, configs, warm-up traces
+        and convergence rounds ride in an embedded JSON index. Returns
+        the path actually written (numpy appends ``.npz`` when the given
+        path has no suffix, and so does this return value).
+        """
+        path = str(path)
+        if not path.endswith(".npz"):
+            path = path + ".npz"
+        index = []
+        arrays = {}
+        for slot, ((fingerprint, config), entry) in enumerate(
+            sorted(self._entries.items(), key=lambda item: repr(item[0]))
+        ):
+            stages_meta = []
+            flat = 0
+            for layer in entry.layers:
+                layer_meta = []
+                for stage in layer:
+                    arrays[f"e{slot}_s{flat}"] = stage.owner
+                    layer_meta.append({
+                        "warmup": list(stage.warmup_costs),
+                        "converged_round": stage.converged_round,
+                        "final_backlog": stage.final_backlog,
+                        "total_backlog": stage.total_backlog,
+                    })
+                    flat += 1
+                stages_meta.append(layer_meta)
+            index.append({
+                "fingerprint": fingerprint,
+                "config": asdict(config),
+                "layers": stages_meta,
+            })
+        arrays["index"] = np.frombuffer(
+            json.dumps({"version": 1, "entries": index}).encode(),
+            dtype=np.uint8,
+        )
+        np.savez_compressed(path, **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path):
+        """Rebuild a cache from a :meth:`save` archive."""
+        cache = cls()
+        with np.load(path) as archive:
+            index = json.loads(bytes(archive["index"]).decode())
+            if index.get("version") != 1:
+                raise ConfigError(
+                    f"unsupported cache archive version {index.get('version')}"
+                )
+            for slot, meta in enumerate(index["entries"]):
+                config = ArchConfig(**meta["config"])
+                layers = []
+                flat = 0
+                for layer_meta in meta["layers"]:
+                    stages = []
+                    for stage_meta in layer_meta:
+                        owner = archive[f"e{slot}_s{flat}"]
+                        stages.append(CachedStage(
+                            owner=np.asarray(owner, dtype=np.int64),
+                            warmup_costs=tuple(
+                                int(c) for c in stage_meta["warmup"]
+                            ),
+                            converged_round=stage_meta["converged_round"],
+                            final_backlog=int(stage_meta["final_backlog"]),
+                            total_backlog=int(stage_meta["total_backlog"]),
+                        ))
+                        flat += 1
+                    layers.append(tuple(stages))
+                cache.store(
+                    meta["fingerprint"], config,
+                    CachedTuning(layers=tuple(layers)),
+                )
+        return cache

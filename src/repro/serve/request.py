@@ -1,0 +1,88 @@
+"""Request and result types of the batched inference service.
+
+An :class:`InferenceRequest` names a graph (a built
+:class:`~repro.datasets.GcnDataset` or a lazily-built
+:class:`~repro.serve.traffic.RmatGraphSpec`), the architecture to run it
+on and the aggregation depth. The service answers each request with an
+:class:`InferenceResult` carrying the modeled hardware outcome (cycles,
+latency, utilization) plus serving metadata (which simulated instance
+ran it, whether the autotune cache hit, how long the simulation took).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.config import ArchConfig
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One GCN inference to schedule.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.datasets.GcnDataset`, or any object with a
+        ``build()`` method returning one (e.g.
+        :class:`~repro.serve.traffic.RmatGraphSpec`). Specs are built
+        lazily and memoized, so a traffic mix can repeat a spec cheaply.
+    config:
+        The :class:`~repro.accel.ArchConfig` to simulate. Requests
+        sharing a config are batched onto the same accelerator instance.
+    a_hops:
+        Aggregation depth per layer (``A^k (X W)``).
+    request_id:
+        Caller-side correlation id; assigned by the queue when None.
+    """
+
+    graph: object
+    config: ArchConfig
+    a_hops: int = 1
+    request_id: object = None
+
+    def __post_init__(self):
+        if not isinstance(self.config, ArchConfig):
+            raise ConfigError(
+                f"config must be ArchConfig, got {type(self.config).__name__}"
+            )
+        if not isinstance(self.a_hops, int) or self.a_hops < 1:
+            raise ConfigError(
+                f"a_hops must be a positive int, got {self.a_hops}"
+            )
+
+    def resolve_graph(self):
+        """The built dataset behind this request."""
+        build = getattr(self.graph, "build", None)
+        if callable(build):
+            return build()
+        return self.graph
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """The service's answer to one :class:`InferenceRequest`."""
+
+    request_id: object
+    dataset: str
+    """Name of the dataset the request resolved to."""
+    fingerprint: str
+    """Workload fingerprint used as the cache key's graph half."""
+    total_cycles: int
+    latency_ms: float
+    utilization: float
+    cache_hit: bool
+    """Whether the autotune cache supplied the converged row map."""
+    worker: int
+    """Index of the simulated accelerator instance that served this."""
+    batch: int
+    """Index of the scheduler batch this request rode in."""
+    sim_seconds: float
+    """Wall-clock time the simulation took (the serving-cost metric the
+    autotune cache exists to shrink)."""
+
+    @property
+    def modeled_seconds(self):
+        """Modeled hardware latency in seconds."""
+        return self.latency_ms / 1e3

@@ -1,0 +1,129 @@
+"""Request queue and config-affinity batch scheduler.
+
+A real accelerator deployment cannot reconfigure its PE array between
+every request: switching the arch config (PE count, hop distance,
+network) is expensive relative to running one more graph. The scheduler
+therefore groups pending requests by :class:`~repro.accel.ArchConfig` —
+all requests of a batch run back-to-back on one simulated instance —
+while preserving fairness: batches are emitted in order of their oldest
+member's arrival, and requests inside a batch keep arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.serve.request import InferenceRequest
+
+
+@dataclass(frozen=True)
+class QueuedRequest:
+    """An accepted request plus its arrival sequence number."""
+
+    seq: int
+    request: InferenceRequest
+
+
+@dataclass(frozen=True)
+class Batch:
+    """Requests sharing one arch config, dispatched as a unit."""
+
+    index: int
+    config: object
+    items: tuple
+    """The member :class:`QueuedRequest` objects in arrival order."""
+
+    @property
+    def arrival(self):
+        """Sequence number of the oldest member (the batch's priority)."""
+        return self.items[0].seq
+
+    def __len__(self):
+        return len(self.items)
+
+
+class RequestQueue:
+    """FIFO admission queue assigning arrival sequence numbers."""
+
+    def __init__(self):
+        self._pending = []
+        self._next_seq = 0
+
+    def __len__(self):
+        return len(self._pending)
+
+    def submit(self, request):
+        """Accept a request; returns its assigned request id.
+
+        Requests without an explicit ``request_id`` get the arrival
+        sequence number as their id.
+        """
+        if not isinstance(request, InferenceRequest):
+            raise ConfigError(
+                "submit expects an InferenceRequest, got "
+                f"{type(request).__name__}"
+            )
+        seq = self._next_seq
+        self._next_seq += 1
+        if request.request_id is None:
+            request = replace(request, request_id=seq)
+        self._pending.append(QueuedRequest(seq=seq, request=request))
+        return request.request_id
+
+    def submit_many(self, requests):
+        """Accept an iterable of requests; returns their ids."""
+        return [self.submit(request) for request in requests]
+
+    def drain(self):
+        """Remove and return every pending request in arrival order."""
+        pending, self._pending = self._pending, []
+        return pending
+
+
+class Scheduler:
+    """Groups queued requests into config-affine batches.
+
+    ``max_batch`` caps the batch size (None = unbounded); an over-full
+    config group is split into consecutive chunks that stay in arrival
+    order, so a flood of one tenant's config cannot monopolize an
+    instance indefinitely.
+    """
+
+    def __init__(self, *, max_batch=None):
+        if max_batch is not None and max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = max_batch
+
+    def plan(self, queued, *, max_batch=None):
+        """Fold queued requests into an ordered list of :class:`Batch`.
+
+        Batches are keyed by the request's (config, a_hops) pair —
+        the full reconfiguration surface of an instance — and ordered by
+        the arrival of their oldest member; members keep arrival order.
+        ``max_batch`` overrides the scheduler's own cap for this plan
+        (the service uses it to spread one giant config group over the
+        instance pool).
+        """
+        if max_batch is None:
+            max_batch = self.max_batch
+        groups = {}
+        order = []
+        for item in queued:
+            key = (item.request.config, item.request.a_hops)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(item)
+        batches = []
+        for key in order:
+            items = groups[key]
+            size = max_batch or len(items)
+            for start in range(0, len(items), size):
+                batches.append((items[start], key, items[start:start + size]))
+        # Order chunks globally by their oldest member's arrival.
+        batches.sort(key=lambda entry: entry[0].seq)
+        return [
+            Batch(index=i, config=key[0], items=tuple(items))
+            for i, (_first, key, items) in enumerate(batches)
+        ]

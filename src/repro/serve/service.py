@@ -1,0 +1,192 @@
+"""The batched multi-graph inference service.
+
+Ties the serving pieces together: requests enter a
+:class:`~repro.serve.scheduler.RequestQueue`, the
+:class:`~repro.serve.scheduler.Scheduler` folds them into config-affine
+batches, and a pool of simulated accelerator instances drains the
+batches round-robin, sharing one :class:`~repro.serve.AutotuneCache`.
+Per-request outcomes come back as
+:class:`~repro.serve.request.InferenceResult`; :class:`ServiceStats`
+aggregates throughput, hit rate and modeled hardware metrics.
+
+The pool is a *model* of a multi-accelerator deployment: instances run
+sequentially in-process (this is a simulator, not a thread pool), but
+batch placement, per-instance accounting and cache sharing behave as
+the deployed system would.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.accel.gcnaccel import GcnAccelerator
+from repro.errors import ConfigError
+from repro.serve.cache import AutotuneCache
+from repro.serve.request import InferenceResult
+from repro.serve.scheduler import RequestQueue, Scheduler
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class WorkerState:
+    """Accounting for one simulated accelerator instance."""
+
+    index: int
+    requests_served: int = 0
+    batches_served: int = 0
+    busy_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Aggregate outcome of one :meth:`InferenceService.drain`."""
+
+    n_requests: int
+    n_batches: int
+    cache_hits: int
+    cache_misses: int
+    wall_seconds: float
+    total_cycles: int
+    mean_utilization: float
+
+    @property
+    def hit_rate(self):
+        """Fraction of requests answered from the autotune cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def requests_per_second(self):
+        """Simulation throughput of the drain."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.n_requests / self.wall_seconds
+
+
+@dataclass(frozen=True)
+class ServeOutcome:
+    """Everything one drain produced: ordered results plus stats."""
+
+    results: tuple
+    stats: ServiceStats
+    workers: tuple
+
+
+class InferenceService:
+    """Accepts a stream of requests and serves them in batches.
+
+    Parameters
+    ----------
+    n_workers:
+        Size of the simulated accelerator pool; batches are placed
+        round-robin.
+    cache:
+        An :class:`AutotuneCache` shared by all instances, ``True`` for
+        a fresh one, or None to disable caching (every request runs the
+        full auto-tuner — the ablation mode of the serving benchmark).
+    max_batch:
+        Optional cap on scheduler batch size.
+    """
+
+    def __init__(self, *, n_workers=2, cache=True, max_batch=None):
+        check_positive_int(n_workers, "n_workers")
+        if cache is True:
+            cache = AutotuneCache()
+        if cache is not None and not isinstance(cache, AutotuneCache):
+            raise ConfigError(
+                f"cache must be AutotuneCache, True or None, "
+                f"got {type(cache).__name__}"
+            )
+        self.cache = cache
+        self.queue = RequestQueue()
+        self.scheduler = Scheduler(max_batch=max_batch)
+        self.workers = [WorkerState(index=i) for i in range(n_workers)]
+
+    def submit(self, request):
+        """Queue one request; returns its id."""
+        return self.queue.submit(request)
+
+    def submit_many(self, requests):
+        """Queue an iterable of requests; returns their ids."""
+        return self.queue.submit_many(requests)
+
+    def drain(self):
+        """Serve everything queued; returns a :class:`ServeOutcome`.
+
+        Results come back in request arrival order regardless of batch
+        placement, so callers can zip them against what they submitted.
+        """
+        queued = self.queue.drain()
+        # Without an explicit batch cap, bound batches so one giant
+        # config group still spreads over the whole instance pool (each
+        # instance configures once and takes a contiguous share) instead
+        # of serializing on instance 0.
+        pool_cap = None
+        if self.scheduler.max_batch is None and len(self.workers) > 1:
+            pool_cap = -(-len(queued) // len(self.workers)) or None
+        batches = self.scheduler.plan(queued, max_batch=pool_cap)
+        results = []
+        started = time.perf_counter()
+        for batch in batches:
+            worker = self.workers[batch.index % len(self.workers)]
+            batch_started = time.perf_counter()
+            for item in batch.items:
+                results.append((item.seq, self._serve_one(item, batch, worker)))
+            worker.busy_seconds += time.perf_counter() - batch_started
+            worker.batches_served += 1
+        wall = time.perf_counter() - started
+        results.sort(key=lambda pair: pair[0])
+        results = tuple(result for _seq, result in results)
+        return ServeOutcome(
+            results=results,
+            stats=self._stats(results, len(batches), wall),
+            workers=tuple(self.workers),
+        )
+
+    def _serve_one(self, item, batch, worker):
+        """Run one request on one instance and record the outcome."""
+        request = item.request
+        dataset = request.resolve_graph()
+        started = time.perf_counter()
+        accel = GcnAccelerator(
+            dataset, request.config, a_hops=request.a_hops
+        )
+        report = accel.run(cache=self.cache)
+        elapsed = time.perf_counter() - started
+        worker.requests_served += 1
+        return InferenceResult(
+            request_id=request.request_id,
+            dataset=getattr(dataset, "name", "custom"),
+            fingerprint=accel.fingerprint(),
+            total_cycles=report.total_cycles,
+            latency_ms=report.latency_ms,
+            utilization=report.utilization,
+            cache_hit=report.cache_hit,
+            worker=worker.index,
+            batch=batch.index,
+            sim_seconds=elapsed,
+        )
+
+    def _stats(self, results, n_batches, wall):
+        """Fold per-request results into :class:`ServiceStats`."""
+        hits = sum(1 for r in results if r.cache_hit)
+        utils = [r.utilization for r in results]
+        return ServiceStats(
+            n_requests=len(results),
+            n_batches=n_batches,
+            cache_hits=hits,
+            cache_misses=len(results) - hits,
+            wall_seconds=wall,
+            total_cycles=sum(r.total_cycles for r in results),
+            mean_utilization=sum(utils) / len(utils) if utils else 0.0,
+        )
+
+
+def serve_requests(requests, *, n_workers=2, cache=True, max_batch=None):
+    """One-shot convenience: submit ``requests``, drain, return outcome."""
+    service = InferenceService(
+        n_workers=n_workers, cache=cache, max_batch=max_batch
+    )
+    service.submit_many(requests)
+    return service.drain()

@@ -151,7 +151,8 @@ def _canonicalize(n_rows, n_cols, rows, cols, vals):
     np.not_equal(keys[1:], keys[:-1], out=unique_mask[1:])
     if unique_mask.all():
         return rows, cols, vals
-    group = np.cumsum(unique_mask) - 1
-    summed = np.zeros(int(group[-1]) + 1)
-    np.add.at(summed, group, vals)
+    # Segmented sum over the sorted duplicates: reduceat accumulates each
+    # run in element order, exactly like the scalar loop it replaces.
+    starts = np.flatnonzero(unique_mask)
+    summed = np.add.reduceat(vals, starts)
     return rows[unique_mask], cols[unique_mask], summed

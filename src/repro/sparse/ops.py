@@ -23,13 +23,19 @@ from repro.sparse.csr import CsrMatrix
 _FLAT_KERNEL_THRESHOLD = 2_000_000
 
 
-def spmm_csc_dense(a_csc, b_dense):
+def spmm_csc_dense(a_csc, b_dense, *, flat_kernel_threshold=None):
     """Multiply ``A (CSC, m x n) @ B (dense, n x k)`` -> dense ``(m, k)``.
 
     This is the computation TDQ-2 performs in hardware: for each column
     ``j`` of ``A`` and each round ``k``, broadcast ``b[j, k]`` to all
     non-zeros of column ``j`` and accumulate into the rows of ``C``
     (paper Eq. 4 and Fig. 5).
+
+    ``flat_kernel_threshold`` overrides the module default
+    ``_FLAT_KERNEL_THRESHOLD`` picking between the flat scatter-add
+    kernel (``nnz * k`` at or below the threshold) and the column-loop
+    kernel (above it). Both kernels compute the same sums in the same
+    per-column order; the override exists so tests can pin either path.
     """
     if not isinstance(a_csc, CscMatrix):
         raise ShapeError(f"a_csc must be CscMatrix, got {type(a_csc).__name__}")
@@ -38,11 +44,13 @@ def spmm_csc_dense(a_csc, b_dense):
         raise ShapeError(
             f"B must be 2-D with {a_csc.shape[1]} rows, got shape {b_dense.shape}"
         )
+    if flat_kernel_threshold is None:
+        flat_kernel_threshold = _FLAT_KERNEL_THRESHOLD
     m, k = a_csc.shape[0], b_dense.shape[1]
     out = np.zeros((m, k))
     if a_csc.nnz == 0 or k == 0:
         return out
-    if a_csc.nnz * k <= _FLAT_KERNEL_THRESHOLD:
+    if a_csc.nnz * k <= flat_kernel_threshold:
         cols = a_csc.expand_cols()
         np.add.at(out, a_csc.row_ids, a_csc.vals[:, None] * b_dense[cols, :])
         return out
@@ -90,36 +98,84 @@ def spmv_csr(a_csr, x):
     return out
 
 
+# Expanded-product chunk size for spgemm_csr: bounds the temporary
+# (row, col, val) triple arrays to a few MB regardless of output size.
+_SPGEMM_CHUNK_PRODUCTS = 4_000_000
+
+
 def spgemm_csr(a_csr, b_csr):
     """Multiply two sparse matrices, returning a canonical ``CooMatrix``.
 
     The paper never runs SPGEMM in hardware (it is exactly what the
     ``(A @ X) @ W`` ordering would need and Table 2 shows why it loses),
     but the op-count analysis needs the result's structure.
+
+    Fully vectorized expansion-merge formulation: every scalar product
+    ``A[i, j] * B[j, l]`` is materialized as a COO triple in one NumPy
+    pass (``a``'s non-zeros repeated by the matching ``B`` row lengths),
+    then duplicates are summed by the canonical COO constructor. Work is
+    chunked over ``A``'s non-zeros so the expanded temporaries stay
+    bounded; each chunk covers a contiguous run of ``A`` rows' products.
     """
     if a_csr.shape[1] != b_csr.shape[0]:
         raise ShapeError(
             f"inner dimensions disagree: {a_csr.shape} @ {b_csr.shape}"
         )
-    out_rows = []
-    out_cols = []
-    out_vals = []
-    b_indptr, b_cols, b_vals = b_csr.indptr, b_csr.col_ids, b_csr.vals
-    for i in range(a_csr.shape[0]):
-        a_cols, a_vals = a_csr.row_slice(i)
-        if a_cols.size == 0:
-            continue
-        acc = {}
-        for j, av in zip(a_cols.tolist(), a_vals.tolist()):
-            lo, hi = b_indptr[j], b_indptr[j + 1]
-            for col, bv in zip(b_cols[lo:hi].tolist(), b_vals[lo:hi].tolist()):
-                acc[col] = acc.get(col, 0.0) + av * bv
-        for col, val in acc.items():
-            out_rows.append(i)
-            out_cols.append(col)
-            out_vals.append(val)
     shape = (a_csr.shape[0], b_csr.shape[1])
-    return CooMatrix(shape, out_rows, out_cols, out_vals)
+    if a_csr.nnz == 0 or b_csr.nnz == 0:
+        return CooMatrix.empty(shape)
+    a_rows = a_csr.expand_rows()
+    a_cols = a_csr.col_ids
+    a_vals = a_csr.vals
+    b_indptr = b_csr.indptr
+    # Products contributed by each A non-zero = nnz of the B row it hits.
+    fanout = b_indptr[a_cols + 1] - b_indptr[a_cols]
+    boundaries = np.concatenate(([0], np.cumsum(fanout)))
+    total_products = int(boundaries[-1])
+    if total_products == 0:
+        return CooMatrix.empty(shape)
+
+    parts = []
+    start_nnz = 0
+    while start_nnz < a_vals.size:
+        stop_nnz = int(np.searchsorted(
+            boundaries, boundaries[start_nnz] + _SPGEMM_CHUNK_PRODUCTS,
+            side="right",
+        )) - 1
+        stop_nnz = max(stop_nnz, start_nnz + 1)  # always advance
+        chunk = slice(start_nnz, stop_nnz)
+        counts = fanout[chunk]
+        n_products = int(counts.sum())
+        if n_products:
+            # For each A non-zero, gather its B row's entries: flat B
+            # indices are the start offset repeated, plus a within-run
+            # ramp (a vectorized "ragged arange").
+            offsets = np.repeat(b_indptr[a_cols[chunk]], counts)
+            run_starts = np.cumsum(counts) - counts
+            ramp = np.arange(n_products) - np.repeat(run_starts, counts)
+            flat = offsets + ramp
+            part = CooMatrix(
+                shape,
+                np.repeat(a_rows[chunk], counts),
+                b_csr.col_ids[flat],
+                np.repeat(a_vals[chunk], counts) * b_csr.vals[flat],
+                keep_zeros=True,
+            )
+            parts.append(part)
+        start_nnz = stop_nnz
+    if len(parts) == 1:
+        coo = parts[0]
+        # Re-canonicalize without keep_zeros to drop cancelled entries.
+        return CooMatrix(shape, coo.rows, coo.cols, coo.vals)
+    # Each chunk is already duplicate-summed, so the merge concatenates
+    # at most output-sized parts — expanded product triples never
+    # coexist across chunks.
+    return CooMatrix(
+        shape,
+        np.concatenate([p.rows for p in parts]),
+        np.concatenate([p.cols for p in parts]),
+        np.concatenate([p.vals for p in parts]),
+    )
 
 
 def transpose_csr(a_csr):

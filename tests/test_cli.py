@@ -80,6 +80,24 @@ class TestCommands:
         assert code == 0
         assert "Fig. 15" in capsys.readouterr().out
 
+    def test_serve_bench(self, capsys, tmp_path):
+        code = main([
+            "serve-bench", "--requests", "8", "--graphs", "2",
+            "--nodes", "384", "--pes", "16", "--workers", "2",
+            "--seed", "3", "--out", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Serving throughput" in out
+        assert "cycle-identical" in out
+        assert (tmp_path / "serve_bench.csv").exists()
+
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.requests == 96
+        assert args.graphs == 4
+        assert args.workers == 2
+
     def test_module_entry_point(self):
         import subprocess
         import sys

@@ -1,0 +1,109 @@
+"""Golden-value regression tests for the accelerator cycle model.
+
+Three fixed-seed RMAT workloads through :class:`GcnAccelerator`, with
+total cycles, per-layer cycles, utilization and tuner convergence rounds
+pinned to the values the model produced when these tests were written.
+
+These exist so performance refactors (vectorized kernels, cache fast
+paths, Hall-bound rewrites) cannot silently change model *semantics*:
+any legitimate modeling change must update these numbers in the same
+commit, consciously. The inputs are fully seeded and the model is
+deterministic, so exact equality is the right assertion — approximate
+comparison would let off-by-one cycle drift through.
+"""
+
+import pytest
+
+from repro.accel import ArchConfig, GcnAccelerator
+from repro.serve import AutotuneCache, RmatGraphSpec
+
+GOLDEN = [
+    # (label, graph spec, arch config, expected)
+    (
+        "baseline-static",
+        RmatGraphSpec(n_nodes=1024, avg_degree=8, f1=48, f2=16, f3=8,
+                      seed=101),
+        ArchConfig(n_pes=64, hop=0, remote_switching=False),
+        {
+            "total_cycles": 20408,
+            "per_layer_cycles": [13511, 6897],
+            "utilization": 0.2713886711093689,
+            "converged_rounds": [None, None, None, None],
+        },
+    ),
+    (
+        "awb-balanced",
+        RmatGraphSpec(n_nodes=1024, avg_degree=8, f1=48, f2=16, f3=8,
+                      seed=202),
+        ArchConfig(n_pes=64, hop=1, remote_switching=True),
+        {
+            "total_cycles": 6723,
+            "per_layer_cycles": [4252, 2471],
+            "utilization": 0.8286479250334672,
+            "converged_rounds": [3, None, 3, 3],
+        },
+    ),
+    (
+        "awb-hub-heavy",
+        RmatGraphSpec(n_nodes=2048, avg_degree=12, f1=32, f2=24, f3=4,
+                      seed=303, abcd=(0.6, 0.15, 0.15, 0.1)),
+        ArchConfig(n_pes=128, hop=2, remote_switching=True,
+                   eq5_approximate=True),
+        {
+            "total_cycles": 15509,
+            "per_layer_cycles": [13166, 2343],
+            "utilization": 0.47160519698239733,
+            "converged_rounds": [3, 6, 3, 3],
+        },
+    ),
+]
+
+IDS = [case[0] for case in GOLDEN]
+
+
+@pytest.fixture(params=GOLDEN, ids=IDS)
+def golden_case(request):
+    label, spec, config, expected = request.param
+    return GcnAccelerator(spec.build(), config), expected
+
+
+class TestGoldenCycles:
+    def test_total_cycles_pinned(self, golden_case):
+        accel, expected = golden_case
+        report = accel.run()
+        assert report.total_cycles == expected["total_cycles"]
+
+    def test_per_layer_cycles_pinned(self, golden_case):
+        accel, expected = golden_case
+        report = accel.run()
+        assert report.per_layer_cycles() == expected["per_layer_cycles"]
+
+    def test_utilization_pinned(self, golden_case):
+        accel, expected = golden_case
+        report = accel.run()
+        # Utilization is cycles-derived, so it is equally deterministic;
+        # the tolerance only absorbs float formatting, not model drift.
+        assert report.utilization == pytest.approx(
+            expected["utilization"], abs=1e-12
+        )
+
+    def test_convergence_rounds_pinned(self, golden_case):
+        accel, expected = golden_case
+        report = accel.run()
+        rounds = [r.converged_round for r in report.spmm_results]
+        assert rounds == expected["converged_rounds"]
+
+    def test_rerun_is_bit_stable(self, golden_case):
+        accel, _expected = golden_case
+        assert accel.run().total_cycles == accel.run().total_cycles
+
+    def test_cache_replay_matches_golden(self, golden_case):
+        # The frozen fast path must hit the same pinned numbers — the
+        # cache is a simulation shortcut, not a model change.
+        accel, expected = golden_case
+        cache = AutotuneCache()
+        accel.run(cache=cache)
+        replay = accel.run(cache=cache)
+        assert replay.cache_hit
+        assert replay.total_cycles == expected["total_cycles"]
+        assert replay.per_layer_cycles() == expected["per_layer_cycles"]

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ShapeError
 from repro.sparse import (
@@ -89,6 +91,49 @@ class TestSpmv:
             spmv_csr(csr, np.ones(3))
 
 
+class TestFlatKernelBoundary:
+    """The two spmm_csc_dense kernels agree across the dispatch boundary.
+
+    The flat scatter-add and the column-loop kernels must be drop-in
+    replacements for each other; the property is checked by running the
+    same operands with the patchable threshold pinned to each side of
+    the actual ``nnz * k`` product (including exactly at it, which takes
+    the flat path — the comparison is ``<=``).
+    """
+
+    @given(
+        st.integers(1, 14),
+        st.integers(1, 14),
+        st.integers(1, 6),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_kernels_agree_across_threshold(self, m, n, k, seed):
+        rng = np.random.default_rng(seed)
+        dense = rng.normal(size=(m, n))
+        dense[rng.random((m, n)) > 0.4] = 0.0
+        b = rng.normal(size=(n, k))
+        csc = coo_to_csc(CooMatrix.from_dense(dense))
+        work = csc.nnz * k
+        flat = spmm_csc_dense(csc, b, flat_kernel_threshold=work)
+        column_loop = spmm_csc_dense(csc, b, flat_kernel_threshold=work - 1)
+        assert np.allclose(flat, column_loop)
+        assert np.allclose(flat, dense @ b)
+
+    def test_default_threshold_is_module_constant(self, operands,
+                                                  monkeypatch):
+        import repro.sparse.ops as ops
+
+        dense, b = operands
+        csc = coo_to_csc(CooMatrix.from_dense(dense))
+        expected = dense @ b
+        # Patching the module constant still steers the default path.
+        monkeypatch.setattr(ops, "_FLAT_KERNEL_THRESHOLD", 0)
+        assert np.allclose(ops.spmm_csc_dense(csc, b), expected)
+        monkeypatch.setattr(ops, "_FLAT_KERNEL_THRESHOLD", 10**12)
+        assert np.allclose(ops.spmm_csc_dense(csc, b), expected)
+
+
 class TestSpgemm:
     def test_matches_numpy(self, rng):
         a = rng.normal(size=(9, 7))
@@ -105,6 +150,58 @@ class TestSpgemm:
         b = coo_to_csr(CooMatrix.from_dense(np.eye(4)))
         with pytest.raises(ShapeError):
             spgemm_csr(a, b)
+
+    @given(
+        st.integers(1, 12),
+        st.integers(1, 12),
+        st.integers(1, 12),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_products_match_dense_oracle(self, m, k, n, seed):
+        # Timing-insensitive correctness: the vectorized expansion-merge
+        # must agree with dense matmul for arbitrary sparsity patterns,
+        # including duplicate accumulation and cancellation.
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(m, k))
+        a[rng.random((m, k)) > 0.35] = 0.0
+        b = rng.normal(size=(k, n))
+        b[rng.random((k, n)) > 0.35] = 0.0
+        out = spgemm_csr(
+            coo_to_csr(CooMatrix.from_dense(a)),
+            coo_to_csr(CooMatrix.from_dense(b)),
+        )
+        assert out.shape == (m, n)
+        assert np.allclose(out.to_dense(), a @ b)
+
+    def test_chunked_path_matches_single_pass(self, rng, monkeypatch):
+        import repro.sparse.ops as ops
+
+        a = rng.normal(size=(31, 23))
+        a[rng.random(a.shape) > 0.4] = 0.0
+        b = rng.normal(size=(23, 19))
+        b[rng.random(b.shape) > 0.4] = 0.0
+        a_csr = coo_to_csr(CooMatrix.from_dense(a))
+        b_csr = coo_to_csr(CooMatrix.from_dense(b))
+        single = spgemm_csr(a_csr, b_csr)
+        monkeypatch.setattr(ops, "_SPGEMM_CHUNK_PRODUCTS", 17)
+        chunked = ops.spgemm_csr(a_csr, b_csr)
+        assert chunked.shape == single.shape
+        assert np.allclose(chunked.to_dense(), single.to_dense())
+        assert np.allclose(chunked.to_dense(), a @ b)
+
+    def test_empty_operands(self):
+        a = coo_to_csr(CooMatrix.empty((3, 4)))
+        b = coo_to_csr(CooMatrix.from_dense(np.ones((4, 2))))
+        assert spgemm_csr(a, b).nnz == 0
+        assert spgemm_csr(a, b).shape == (3, 2)
+
+    def test_structural_zero_rows_and_columns(self):
+        # A's only non-zeros hit an empty B row -> empty product.
+        a = coo_to_csr(CooMatrix((2, 3), [0, 1], [1, 1], [5.0, 7.0]))
+        b = coo_to_csr(CooMatrix((3, 2), [0, 2], [0, 1], [1.0, 2.0]))
+        out = spgemm_csr(a, b)
+        assert out.nnz == 0
 
 
 class TestTranspose:

@@ -1,0 +1,75 @@
+"""Streaming serving: arrival-rate sweep under a latency SLO.
+
+Sweeps the offered load on the event-driven inference service: the same
+Zipf-popular RMAT graph mix arrives as a Poisson stream at increasing
+request rates, every request carrying an end-to-end latency SLO. The
+sweep traces the U-shaped latency curve of SLO-aware batching: at low
+rates batches cannot fill, so requests wait until their deadline slack
+expires and latency hugs the SLO; at healthy rates batches fill long
+before their deadlines and latency collapses to near pure service
+time; past saturation queueing takes over and the tail grows again.
+Everything runs on the simulated clock, so every number is
+deterministic. A final bursty run shows why arrival *shape*, not just
+rate, matters: bursts fill batches instantly even at a modest mean
+rate.
+
+Run:  python examples/streaming_traffic.py
+"""
+
+from repro.accel import ArchConfig
+from repro.serve import AutotuneCache, serve_requests, streaming_traffic
+
+N_REQUESTS = 64
+SLO_MS = 10.0
+RATES = (100.0, 400.0, 6400.0, 51200.0)
+
+
+def run_mix(cache, rate, arrival="poisson"):
+    requests = streaming_traffic(
+        N_REQUESTS,
+        arrival_rate=rate,
+        arrival=arrival,
+        slo_ms=SLO_MS,
+        n_graphs=4,
+        n_nodes=2048,
+        seed=7,
+        configs=(ArchConfig(n_pes=64, hop=1, remote_switching=True),),
+    )
+    return serve_requests(
+        requests, n_workers=2, cache=cache, max_batch=8
+    )
+
+
+def describe(label, outcome):
+    latency, stats = outcome.latency, outcome.stats
+    print(
+        f"{label:>14} {stats.n_batches:>7} "
+        f"{latency.p50_ms:>8.3f} {latency.p95_ms:>8.3f} "
+        f"{latency.p99_ms:>8.3f} {latency.mean_queue_ms:>9.3f} "
+        f"{latency.slo_attainment:>8.1%} "
+        f"{stats.modeled_requests_per_second:>9.0f}"
+    )
+
+
+def main():
+    print(f"{N_REQUESTS} requests, 4 RMAT graphs, {SLO_MS:g} ms SLO, "
+          f"2 instances, max_batch 8\n")
+    print(f"{'arrivals':>14} {'batches':>7} {'p50ms':>8} {'p95ms':>8} "
+          f"{'p99ms':>8} {'queue ms':>9} {'SLO att':>8} {'req/s':>9}")
+
+    # One shared cache across the sweep: rates change *when* requests
+    # arrive, never what they compute, so repeats hit the frozen path.
+    cache = AutotuneCache()
+    for rate in RATES:
+        describe(f"poisson {rate:g}/s", run_mix(cache, rate))
+    describe("bursty 400/s", run_mix(cache, 400.0, arrival="bursty"))
+
+    print(f"\nautotune cache after the sweep: {cache.stats.hits} hits / "
+          f"{cache.stats.misses} misses over {len(cache)} entries")
+    print("sparse arrivals wait out their deadline slack (latency hugs "
+          "the SLO);\nhealthy rates fill batches early (latency drops); "
+          "saturation queues (tail grows back).")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,7 @@ Usage::
     python -m repro fig14-area
     python -m repro fig15 [--pe-counts 512,768,1024]
     python -m repro serve-bench [--requests 96] [--graphs 4]
+    python -m repro serve-bench --arrival-rate 400 --slo-ms 5
     python -m repro summary           # dataset inventory
 
 Each command prints the rendered table; ``--out DIR`` additionally
@@ -78,7 +79,8 @@ def build_parser():
 
     serve = sub.add_parser(
         "serve-bench",
-        help="batched multi-graph serving: autotune-cache throughput",
+        help=("multi-graph serving: cache throughput, or — with "
+              "--arrival-rate — streaming latency/SLO attainment"),
     )
     serve.add_argument("--requests", type=int, default=96,
                        help="requests in the mix (default: 96)")
@@ -91,6 +93,19 @@ def build_parser():
     serve.add_argument("--workers", type=int, default=2,
                        help="simulated accelerator instances (default: 2)")
     serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--arrival-rate", type=float, default=None,
+                       metavar="REQ_PER_S",
+                       help=("stream requests at this rate on the simulated "
+                             "clock and report p50/p95/p99 latency instead "
+                             "of throughput (default: offline batch mode)"))
+    serve.add_argument("--slo-ms", type=float, default=None,
+                       help="per-request end-to-end latency SLO in ms")
+    serve.add_argument("--arrival", default=None,
+                       choices=["poisson", "bursty"],
+                       help="arrival process for --arrival-rate mode "
+                            "(default: poisson)")
+    serve.add_argument("--max-batch", type=int, default=None,
+                       help="batch-size cap in streaming mode (default: 8)")
     serve.add_argument("--out", default=None, metavar="DIR",
                        help="also write rows as CSV under DIR")
     return parser
@@ -113,9 +128,39 @@ def _emit(args, name, rows, text):
 
 def main(argv=None):
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
 
     if args.command == "serve-bench":
+        streaming_flags = [
+            name for name, value in (
+                ("--slo-ms", args.slo_ms),
+                ("--arrival", args.arrival),
+                ("--max-batch", args.max_batch),
+            ) if value is not None
+        ]
+        if args.arrival_rate is None and streaming_flags:
+            parser.error(
+                f"{', '.join(streaming_flags)} require(s) --arrival-rate "
+                "(streaming mode); without it serve-bench runs the "
+                "offline throughput comparison"
+            )
+        if args.arrival_rate is not None:
+            from repro.serve import compare_latency
+
+            rows, text = compare_latency(
+                n_requests=args.requests,
+                n_graphs=args.graphs,
+                n_nodes=args.nodes,
+                n_pes=args.pes,
+                n_workers=args.workers,
+                seed=args.seed,
+                arrival_rate=args.arrival_rate,
+                slo_ms=args.slo_ms,
+                arrival=args.arrival or "poisson",
+                max_batch=args.max_batch if args.max_batch is not None else 8,
+            )
+            return _emit(args, "serve_latency", rows, text)
         from repro.serve import compare_caching
 
         rows, text = compare_caching(

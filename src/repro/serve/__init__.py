@@ -1,64 +1,94 @@
-"""Batched multi-graph inference serving on the AWB-GCN model.
+"""Streaming multi-graph inference serving on the AWB-GCN model.
 
 The paper simulates one graph per run; production GNN serving answers a
-*stream* of requests over many graphs and architectures. This package
-adds that layer:
+*stream* of requests over many graphs and architectures, arriving over
+time with latency SLOs. This package adds that layer:
 
-* :mod:`repro.serve.request`   — request/result types;
-* :mod:`repro.serve.scheduler` — FIFO admission queue + config-affinity
-  batch scheduler;
+* :mod:`repro.serve.request`   — request/result types with arrival
+  times, deadlines and a per-request serving timeline;
+* :mod:`repro.serve.scheduler` — FIFO admission queue, the offline
+  config-affinity batch planner, and the event-driven
+  :class:`StreamingScheduler` (deadline-aware batch cutting, EDF
+  dispatch);
 * :mod:`repro.serve.cache`     — the :class:`AutotuneCache`: converged
-  Eq. 5 row maps keyed by (workload fingerprint, arch config), with
-  ``.npz`` persistence, so repeat graphs skip the auto-tuner warm-up via
-  the frozen fast path of
+  Eq. 5 row maps keyed by (workload fingerprint, arch config), with an
+  optional LRU size bound and ``.npz`` persistence, so repeat graphs
+  skip the auto-tuner warm-up via the frozen fast path of
   :func:`~repro.accel.cyclemodel.simulate_spmm_frozen`;
-* :mod:`repro.serve.service`   — the :class:`InferenceService` driving a
-  pool of simulated accelerator instances;
-* :mod:`repro.serve.traffic`   — fixed-seed RMAT request mixes for the
-  serving benchmarks (``repro serve-bench``,
-  ``benchmarks/bench_serve_throughput.py``).
+* :mod:`repro.serve.service`   — the :class:`InferenceService`: an
+  event-driven simulated-clock loop over a pool of simulated
+  accelerator instances, with latency percentile / SLO-attainment
+  accounting (:class:`LatencyStats`);
+* :mod:`repro.serve.traffic`   — fixed-seed RMAT request mixes and
+  Poisson/bursty arrival processes for the serving benchmarks
+  (``repro serve-bench``, ``benchmarks/bench_serve_*.py``).
 
 Quickstart::
 
-    from repro.serve import InferenceService, synthetic_traffic
+    from repro.serve import InferenceService, streaming_traffic
 
-    service = InferenceService(n_workers=2, cache=True)
-    service.submit_many(synthetic_traffic(32, n_graphs=4, seed=7))
+    service = InferenceService(n_workers=2, cache=True, max_batch=8)
+    service.submit_many(streaming_traffic(
+        32, arrival_rate=200.0, slo_ms=5.0, n_graphs=4, seed=7,
+    ))
     outcome = service.drain()
-    print(outcome.stats.hit_rate, outcome.stats.requests_per_second)
+    print(outcome.latency.p99_ms, outcome.latency.slo_attainment)
 """
 
-from repro.serve.bench import compare_caching, default_serving_config
+from repro.serve.bench import (
+    compare_caching,
+    compare_latency,
+    default_serving_config,
+)
 from repro.serve.cache import AutotuneCache, CacheStats
 from repro.serve.request import InferenceRequest, InferenceResult
-from repro.serve.scheduler import Batch, RequestQueue, Scheduler
+from repro.serve.scheduler import (
+    Batch,
+    QueuedRequest,
+    RequestQueue,
+    Scheduler,
+    StreamingScheduler,
+)
 from repro.serve.service import (
     InferenceService,
+    LatencyStats,
     ServeOutcome,
     ServiceStats,
+    percentile,
     serve_requests,
 )
 from repro.serve.traffic import (
     RmatGraphSpec,
+    bursty_arrivals,
     clear_graph_cache,
+    poisson_arrivals,
+    streaming_traffic,
     synthetic_traffic,
 )
 
 __all__ = [
     "compare_caching",
+    "compare_latency",
     "default_serving_config",
     "AutotuneCache",
     "CacheStats",
     "InferenceRequest",
     "InferenceResult",
     "Batch",
+    "QueuedRequest",
     "RequestQueue",
     "Scheduler",
+    "StreamingScheduler",
     "InferenceService",
+    "LatencyStats",
     "ServeOutcome",
     "ServiceStats",
+    "percentile",
     "serve_requests",
     "RmatGraphSpec",
+    "bursty_arrivals",
     "clear_graph_cache",
+    "poisson_arrivals",
+    "streaming_traffic",
     "synthetic_traffic",
 ]

@@ -27,6 +27,7 @@ import numpy as np
 from repro.accel.config import ArchConfig
 from repro.accel.gcnaccel import CachedStage, CachedTuning
 from repro.errors import ConfigError
+from repro.utils.validation import check_positive_int
 
 
 @dataclass(frozen=True)
@@ -36,6 +37,8 @@ class CacheStats:
     hits: int
     misses: int
     entries: int
+    evictions: int = 0
+    """Entries dropped by the LRU size bound since the last clear."""
 
     @property
     def lookups(self):
@@ -56,12 +59,26 @@ class AutotuneCache:
     :meth:`lookup` and :meth:`store` are the hook surface
     :meth:`~repro.accel.GcnAccelerator.run` drives; the service never
     touches entries directly.
+
+    ``max_entries`` bounds the cache LRU-style: every :meth:`lookup`
+    hit and :meth:`store` refreshes the key's recency, and an insert
+    that would exceed the bound evicts the least-recently-used entries
+    first (counted in :attr:`stats`). None keeps the historical
+    unbounded behavior. Recency is an in-process property: a
+    :meth:`save`/:meth:`load` round-trip restores entries in a
+    deterministic sorted order, not the live recency order.
     """
 
-    def __init__(self):
+    def __init__(self, *, max_entries=None):
+        if max_entries is not None:
+            max_entries = check_positive_int(max_entries, "max_entries")
+        self.max_entries = max_entries
+        # Insertion-ordered dict doubling as the LRU list: the front is
+        # the least recently used, re-insertion moves a key to the back.
         self._entries = {}
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     def __len__(self):
         return len(self._entries)
@@ -79,33 +96,51 @@ class AutotuneCache:
         return (str(fingerprint), config)
 
     def lookup(self, fingerprint, config):
-        """Return the cached :class:`CachedTuning` or None (counted)."""
-        entry = self._entries.get(self.key(fingerprint, config))
+        """Return the cached :class:`CachedTuning` or None (counted).
+
+        A hit refreshes the key's LRU recency.
+        """
+        key = self.key(fingerprint, config)
+        entry = self._entries.get(key)
         if entry is None:
             self._misses += 1
         else:
             self._hits += 1
+            self._entries[key] = self._entries.pop(key)
         return entry
 
     def store(self, fingerprint, config, entry):
-        """Insert (or overwrite) the tuning state for a key."""
+        """Insert (or overwrite) the tuning state for a key.
+
+        The key becomes the most recently used; when ``max_entries`` is
+        set, least-recently-used entries are evicted to make room.
+        """
         if not isinstance(entry, CachedTuning):
             raise ConfigError(
                 f"entry must be CachedTuning, got {type(entry).__name__}"
             )
-        self._entries[self.key(fingerprint, config)] = entry
+        key = self.key(fingerprint, config)
+        self._entries.pop(key, None)
+        self._entries[key] = entry
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+                self._evictions += 1
 
     def clear(self):
         """Drop every entry and reset the counters."""
         self._entries.clear()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     @property
     def stats(self):
         """Current :class:`CacheStats`."""
         return CacheStats(
-            hits=self._hits, misses=self._misses, entries=len(self._entries)
+            hits=self._hits, misses=self._misses,
+            entries=len(self._entries), evictions=self._evictions,
         )
 
     # ------------------------------------------------------------------
@@ -154,9 +189,14 @@ class AutotuneCache:
         return path
 
     @classmethod
-    def load(cls, path):
-        """Rebuild a cache from a :meth:`save` archive."""
-        cache = cls()
+    def load(cls, path, *, max_entries=None):
+        """Rebuild a cache from a :meth:`save` archive.
+
+        ``max_entries`` applies the LRU bound to the restored cache;
+        archives holding more entries than the bound keep the last
+        ``max_entries`` in the archive's deterministic sort order.
+        """
+        cache = cls(max_entries=max_entries)
         with np.load(path) as archive:
             index = json.loads(bytes(archive["index"]).decode())
             if index.get("version") != 1:

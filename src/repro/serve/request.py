@@ -1,16 +1,20 @@
-"""Request and result types of the batched inference service.
+"""Request and result types of the streaming inference service.
 
 An :class:`InferenceRequest` names a graph (a built
 :class:`~repro.datasets.GcnDataset` or a lazily-built
 :class:`~repro.serve.traffic.RmatGraphSpec`), the architecture to run it
-on and the aggregation depth. The service answers each request with an
-:class:`InferenceResult` carrying the modeled hardware outcome (cycles,
-latency, utilization) plus serving metadata (which simulated instance
+on, the aggregation depth, and — for the event-driven serving loop — the
+time it arrives on the simulated clock plus an optional latency SLO. The
+service answers each request with an :class:`InferenceResult` carrying
+the modeled hardware outcome (cycles, latency, utilization) and the
+serving timeline (queueing delay, service start/finish, end-to-end
+latency, SLO verdict) plus serving metadata (which simulated instance
 ran it, whether the autotune cache hit, how long the simulation took).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.accel.config import ArchConfig
@@ -35,12 +39,24 @@ class InferenceRequest:
         Aggregation depth per layer (``A^k (X W)``).
     request_id:
         Caller-side correlation id; assigned by the queue when None.
+    arrival_time:
+        Seconds on the simulated clock at which the request enters the
+        system. The default 0.0 reproduces the offline batch regime
+        (everything available up front). Requests must be submitted in
+        non-decreasing arrival order.
+    slo_ms:
+        Optional end-to-end latency SLO in milliseconds. The scheduler
+        cuts a batch early when a member's deadline
+        (``arrival_time + slo_ms``) is about to expire; the result
+        records whether the SLO was met. None means no deadline.
     """
 
     graph: object
     config: ArchConfig
     a_hops: int = 1
     request_id: object = None
+    arrival_time: float = 0.0
+    slo_ms: float = None
 
     def __post_init__(self):
         if not isinstance(self.config, ArchConfig):
@@ -51,6 +67,38 @@ class InferenceRequest:
             raise ConfigError(
                 f"a_hops must be a positive int, got {self.a_hops}"
             )
+        try:
+            arrival = float(self.arrival_time)
+        except (TypeError, ValueError):
+            raise ConfigError(
+                "arrival_time must be a number, got "
+                f"{type(self.arrival_time).__name__}"
+            )
+        if not math.isfinite(arrival) or arrival < 0.0:
+            raise ConfigError(
+                f"arrival_time must be finite and >= 0, got {arrival}"
+            )
+        object.__setattr__(self, "arrival_time", arrival)
+        if self.slo_ms is not None:
+            try:
+                slo = float(self.slo_ms)
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    f"slo_ms must be a number or None, got "
+                    f"{type(self.slo_ms).__name__}"
+                )
+            if not math.isfinite(slo) or slo <= 0.0:
+                raise ConfigError(
+                    f"slo_ms must be finite and > 0, got {slo}"
+                )
+            object.__setattr__(self, "slo_ms", slo)
+
+    @property
+    def deadline(self):
+        """Absolute completion deadline in seconds (inf when no SLO)."""
+        if self.slo_ms is None:
+            return math.inf
+        return self.arrival_time + self.slo_ms / 1e3
 
     def resolve_graph(self):
         """The built dataset behind this request."""
@@ -71,6 +119,7 @@ class InferenceResult:
     """Workload fingerprint used as the cache key's graph half."""
     total_cycles: int
     latency_ms: float
+    """Modeled hardware service latency (cycles at the config clock)."""
     utilization: float
     cache_hit: bool
     """Whether the autotune cache supplied the converged row map."""
@@ -81,8 +130,45 @@ class InferenceResult:
     sim_seconds: float
     """Wall-clock time the simulation took (the serving-cost metric the
     autotune cache exists to shrink)."""
+    arrival_time: float = 0.0
+    """Simulated-clock second the request entered the system."""
+    start_time: float = 0.0
+    """Simulated-clock second service began on the instance."""
+    finish_time: float = 0.0
+    """Simulated-clock second the result was ready."""
+    slo_ms: float = None
+    """The request's latency SLO in ms (None when it carried none)."""
 
     @property
     def modeled_seconds(self):
         """Modeled hardware latency in seconds."""
         return self.latency_ms / 1e3
+
+    @property
+    def queue_ms(self):
+        """Milliseconds the request waited before service started."""
+        return (self.start_time - self.arrival_time) * 1e3
+
+    @property
+    def service_ms(self):
+        """Milliseconds of modeled service time on the instance."""
+        return (self.finish_time - self.start_time) * 1e3
+
+    @property
+    def e2e_ms(self):
+        """End-to-end latency in ms: arrival to finish (queue + service)."""
+        return (self.finish_time - self.arrival_time) * 1e3
+
+    @property
+    def deadline(self):
+        """Absolute completion deadline in seconds (inf when no SLO)."""
+        if self.slo_ms is None:
+            return math.inf
+        return self.arrival_time + self.slo_ms / 1e3
+
+    @property
+    def slo_met(self):
+        """Whether the SLO held (None when the request carried none)."""
+        if self.slo_ms is None:
+            return None
+        return self.e2e_ms <= self.slo_ms

@@ -1,20 +1,63 @@
-"""Request queue and config-affinity batch scheduler.
+"""Request queue, config-affinity batching and SLO-aware batch cutting.
 
 A real accelerator deployment cannot reconfigure its PE array between
 every request: switching the arch config (PE count, hop distance,
-network) is expensive relative to running one more graph. The scheduler
-therefore groups pending requests by :class:`~repro.accel.ArchConfig` —
-all requests of a batch run back-to-back on one simulated instance —
-while preserving fairness: batches are emitted in order of their oldest
-member's arrival, and requests inside a batch keep arrival order.
+network) is expensive relative to running one more graph. The
+schedulers here therefore group pending requests by
+:class:`~repro.accel.ArchConfig` — all requests of a batch run
+back-to-back on one simulated instance — while preserving fairness:
+requests inside a batch keep arrival order, and batches are dispatched
+earliest-deadline-first with the oldest member's arrival as the
+tie-break (which degenerates to plain oldest-first FIFO when no request
+carries an SLO).
+
+Two planners share those rules:
+
+* :class:`Scheduler` is the offline planner of the original
+  submit-then-drain service: it folds an already-complete queue into
+  batches in one shot.
+* :class:`StreamingScheduler` is the event-driven planner behind the
+  simulated-clock serving loop: requests are admitted one at a time as
+  they arrive, and a batch is *cut* (sealed for dispatch) when its
+  config group reaches ``max_batch``, when the group's tightest
+  deadline minus the estimated service time says it must start now, or
+  when the arrival stream ends.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
 from repro.serve.request import InferenceRequest
+from repro.utils.validation import check_positive_int
+
+
+def _check_max_batch(max_batch):
+    """Validate a batch-size cap: None (unbounded) or a positive int."""
+    if max_batch is None:
+        return None
+    return check_positive_int(max_batch, "max_batch")
+
+
+def _check_max_wait(max_wait):
+    """Validate a batch timeout: None (disabled) or finite seconds >= 0."""
+    if max_wait is None:
+        return None
+    try:
+        max_wait = float(max_wait)
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"max_wait must be a number or None, got "
+            f"{type(max_wait).__name__}"
+        )
+    if not math.isfinite(max_wait) or max_wait < 0.0:
+        raise ConfigError(
+            f"max_wait must be finite and >= 0, got {max_wait}"
+        )
+    return max_wait
 
 
 @dataclass(frozen=True)
@@ -23,6 +66,16 @@ class QueuedRequest:
 
     seq: int
     request: InferenceRequest
+
+    @property
+    def arrival_time(self):
+        """Simulated-clock arrival second of the member request."""
+        return self.request.arrival_time
+
+    @property
+    def deadline(self):
+        """Absolute completion deadline in seconds (inf when no SLO)."""
+        return self.request.deadline
 
 
 @dataclass(frozen=True)
@@ -39,16 +92,28 @@ class Batch:
         """Sequence number of the oldest member (the batch's priority)."""
         return self.items[0].seq
 
+    @property
+    def deadline(self):
+        """Tightest member deadline — the batch's EDF key."""
+        return min(item.deadline for item in self.items)
+
     def __len__(self):
         return len(self.items)
 
 
 class RequestQueue:
-    """FIFO admission queue assigning arrival sequence numbers."""
+    """FIFO admission queue assigning arrival sequence numbers.
+
+    Arrival times must be non-decreasing across submissions — the queue
+    is the front door of an event-driven simulation, and an
+    out-of-order arrival would mean the clock ran backwards. Equal
+    times are fine (a burst).
+    """
 
     def __init__(self):
         self._pending = []
         self._next_seq = 0
+        self._last_arrival = 0.0
 
     def __len__(self):
         return len(self._pending)
@@ -57,13 +122,22 @@ class RequestQueue:
         """Accept a request; returns its assigned request id.
 
         Requests without an explicit ``request_id`` get the arrival
-        sequence number as their id.
+        sequence number as their id. A request arriving earlier than
+        the previously submitted one is rejected with
+        :class:`~repro.errors.ConfigError`.
         """
         if not isinstance(request, InferenceRequest):
             raise ConfigError(
                 "submit expects an InferenceRequest, got "
                 f"{type(request).__name__}"
             )
+        if request.arrival_time < self._last_arrival:
+            raise ConfigError(
+                "non-monotonic arrival: request arrives at "
+                f"{request.arrival_time:.6f}s but a request at "
+                f"{self._last_arrival:.6f}s was already submitted"
+            )
+        self._last_arrival = request.arrival_time
         seq = self._next_seq
         self._next_seq += 1
         if request.request_id is None:
@@ -76,13 +150,19 @@ class RequestQueue:
         return [self.submit(request) for request in requests]
 
     def drain(self):
-        """Remove and return every pending request in arrival order."""
+        """Remove and return every pending request in arrival order.
+
+        Draining ends the current arrival stream: the monotonicity
+        watermark resets, so the next stream may start back at t=0 (the
+        serving loop restarts its simulated clock per drain).
+        """
         pending, self._pending = self._pending, []
+        self._last_arrival = 0.0
         return pending
 
 
 class Scheduler:
-    """Groups queued requests into config-affine batches.
+    """Groups an already-drained queue into config-affine batches.
 
     ``max_batch`` caps the batch size (None = unbounded); an over-full
     config group is split into consecutive chunks that stay in arrival
@@ -91,9 +171,7 @@ class Scheduler:
     """
 
     def __init__(self, *, max_batch=None):
-        if max_batch is not None and max_batch < 1:
-            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
-        self.max_batch = max_batch
+        self.max_batch = _check_max_batch(max_batch)
 
     def plan(self, queued, *, max_batch=None):
         """Fold queued requests into an ordered list of :class:`Batch`.
@@ -107,6 +185,8 @@ class Scheduler:
         """
         if max_batch is None:
             max_batch = self.max_batch
+        else:
+            max_batch = _check_max_batch(max_batch)
         groups = {}
         order = []
         for item in queued:
@@ -127,3 +207,128 @@ class Scheduler:
             Batch(index=i, config=key[0], items=tuple(items))
             for i, (_first, key, items) in enumerate(batches)
         ]
+
+
+class StreamingScheduler:
+    """Event-driven admission with deadline-aware batch cutting.
+
+    The serving loop feeds it one :class:`QueuedRequest` at a time via
+    :meth:`admit`; requests accumulate in per-(config, a_hops) groups
+    until a *cut* seals a batch:
+
+    * **size cut** — the group reached ``max_batch`` members;
+    * **deadline cut** — :meth:`cut_due` finds the group's cut time has
+      passed: its tightest member deadline minus the estimated batch
+      service time (a per-group EWMA of observed per-request modeled
+      service seconds, fed back via :meth:`observe`) says the batch
+      must start now to have a chance of meeting the SLO;
+    * **timeout cut** — the oldest member has waited ``max_wait``
+      seconds (bounds queueing for SLO-less traffic);
+    * **flush** — the arrival stream ended (:meth:`flush`).
+
+    Cut batches wait in an EDF priority queue: :meth:`pop_ready` hands
+    out the batch with the tightest deadline, ties broken by the oldest
+    member's arrival sequence — so SLO-less traffic degrades to plain
+    FIFO and no config group can starve another with equal deadlines.
+    """
+
+    def __init__(self, *, max_batch=None, max_wait=None):
+        self.max_batch = _check_max_batch(max_batch)
+        self.max_wait = _check_max_wait(max_wait)
+        self._groups = {}
+        self._order = []
+        self._estimates = {}
+        self._ready = []
+        self._n_dispatched = 0
+
+    @property
+    def pending(self):
+        """Number of admitted requests not yet sealed into a batch."""
+        return sum(len(group) for group in self._groups.values())
+
+    @property
+    def ready(self):
+        """Number of cut batches awaiting dispatch."""
+        return len(self._ready)
+
+    def admit(self, item):
+        """Accept one queued request into its config group.
+
+        Seals the group immediately when it reaches ``max_batch``.
+        """
+        if not isinstance(item, QueuedRequest):
+            raise ConfigError(
+                f"admit expects a QueuedRequest, got {type(item).__name__}"
+            )
+        key = (item.request.config, item.request.a_hops)
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = []
+            if key not in self._order:
+                self._order.append(key)
+        group.append(item)
+        if self.max_batch is not None and len(group) >= self.max_batch:
+            self._cut(key)
+
+    def observe(self, config, a_hops, seconds):
+        """Feed back one request's modeled service seconds (EWMA)."""
+        key = (config, a_hops)
+        previous = self._estimates.get(key)
+        if previous is None:
+            self._estimates[key] = seconds
+        else:
+            self._estimates[key] = 0.5 * previous + 0.5 * seconds
+
+    def _cut_time(self, key):
+        """Simulated second at which this group must be sealed."""
+        group = self._groups[key]
+        tightest = min(item.deadline for item in group)
+        estimate = self._estimates.get(key, 0.0) * len(group)
+        when = tightest - estimate
+        if self.max_wait is not None:
+            when = min(when, group[0].arrival_time + self.max_wait)
+        return when
+
+    def next_cut_time(self):
+        """Earliest second any live group needs cutting (inf if none)."""
+        times = [
+            self._cut_time(key) for key in self._order if self._groups.get(key)
+        ]
+        return min(times) if times else math.inf
+
+    def cut_due(self, now):
+        """Seal every group whose cut time has passed; returns the count."""
+        cut = 0
+        for key in self._order:
+            if self._groups.get(key) and self._cut_time(key) <= now:
+                self._cut(key)
+                cut += 1
+        return cut
+
+    def flush(self):
+        """Seal every live group (the arrival stream has ended)."""
+        for key in self._order:
+            if self._groups.get(key):
+                self._cut(key)
+
+    def _cut(self, key):
+        """Seal one group into the EDF-ordered ready queue."""
+        items = self._groups[key]
+        self._groups[key] = []
+        deadline = min(item.deadline for item in items)
+        heapq.heappush(
+            self._ready, (deadline, items[0].seq, key, tuple(items))
+        )
+
+    def pop_ready(self):
+        """Remove and return the EDF-first ready :class:`Batch`.
+
+        Batch indices are assigned in dispatch order, so they are
+        consecutive in the order instances actually receive work.
+        """
+        if not self._ready:
+            raise ConfigError("pop_ready on an empty ready queue")
+        _deadline, _seq, key, items = heapq.heappop(self._ready)
+        batch = Batch(index=self._n_dispatched, config=key[0], items=items)
+        self._n_dispatched += 1
+        return batch

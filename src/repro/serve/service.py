@@ -1,30 +1,55 @@
-"""The batched multi-graph inference service.
+"""The event-driven streaming inference service.
 
 Ties the serving pieces together: requests enter a
-:class:`~repro.serve.scheduler.RequestQueue`, the
-:class:`~repro.serve.scheduler.Scheduler` folds them into config-affine
-batches, and a pool of simulated accelerator instances drains the
-batches round-robin, sharing one :class:`~repro.serve.AutotuneCache`.
-Per-request outcomes come back as
-:class:`~repro.serve.request.InferenceResult`; :class:`ServiceStats`
-aggregates throughput, hit rate and modeled hardware metrics.
+:class:`~repro.serve.scheduler.RequestQueue` carrying simulated-clock
+arrival times and optional latency SLOs; an event loop advances the
+clock from arrival to arrival, the
+:class:`~repro.serve.scheduler.StreamingScheduler` seals config-affine
+batches when they fill or when a deadline demands it, and a pool of
+simulated accelerator instances picks sealed batches up
+earliest-deadline-first as each instance frees, sharing one
+:class:`~repro.serve.AutotuneCache`. Per-request outcomes come back as
+:class:`~repro.serve.request.InferenceResult` with a full serving
+timeline (queueing delay, service start/finish, end-to-end latency,
+SLO verdict); :class:`ServiceStats` aggregates throughput and hit rate
+and :class:`LatencyStats` the latency percentiles and SLO attainment.
+
+Two clocks run side by side and must never mix: the *simulated* clock
+(seconds of modeled hardware time, derived from cycle counts via
+:meth:`~repro.accel.ArchConfig.cycles_to_seconds`) drives every
+scheduling decision, while the *wall* clock only measures how long the
+simulation itself took — the serving-cost metric the autotune cache
+exists to shrink. Because control flow depends only on the simulated
+clock, a run is bit-deterministic under a fixed seed, and enabling the
+cache changes wall time but not one cycle count, timestamp or verdict.
+
+The offline batch regime of the original submit-then-drain service is
+the degenerate case: when every request arrives at t=0 with no SLO, the
+loop admits everything at once, flushes, and dispatches batches oldest
+first — reproducing the old planner's order exactly.
 
 The pool is a *model* of a multi-accelerator deployment: instances run
 sequentially in-process (this is a simulator, not a thread pool), but
-batch placement, per-instance accounting and cache sharing behave as
-the deployed system would.
+admission, batch placement, per-instance accounting and cache sharing
+behave as the deployed system would.
 """
 
 from __future__ import annotations
 
+import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.accel.gcnaccel import GcnAccelerator
 from repro.errors import ConfigError
 from repro.serve.cache import AutotuneCache
 from repro.serve.request import InferenceResult
-from repro.serve.scheduler import RequestQueue, Scheduler
+from repro.serve.scheduler import (
+    RequestQueue,
+    StreamingScheduler,
+    _check_max_batch,
+    _check_max_wait,
+)
 from repro.utils.validation import check_positive_int
 
 
@@ -36,6 +61,75 @@ class WorkerState:
     requests_served: int = 0
     batches_served: int = 0
     busy_seconds: float = 0.0
+    """Wall-clock seconds this instance's simulations took."""
+    free_at: float = 0.0
+    """Simulated second the instance finishes its current batch."""
+    modeled_busy_seconds: float = 0.0
+    """Simulated seconds of modeled hardware time spent serving."""
+
+
+def percentile(values, q):
+    """Nearest-rank percentile of ``values`` (0 < q <= 100).
+
+    Deterministic and library-independent so golden latency numbers pin
+    exactly: the result is always one of the observed values, never an
+    interpolation.
+    """
+    if not 0.0 < q <= 100.0:
+        raise ConfigError(f"percentile q must be in (0, 100], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[max(rank, 1) - 1]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Latency percentiles and SLO attainment of one serving run.
+
+    All latency figures are end-to-end (arrival to finish, queueing
+    plus modeled service) in milliseconds of simulated time.
+    """
+
+    n: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    mean_queue_ms: float
+    """Mean queueing delay (arrival to service start)."""
+    slo_requests: int
+    """How many requests carried an SLO."""
+    slo_met: int
+    """How many SLO-carrying requests finished within it."""
+
+    @property
+    def slo_attainment(self):
+        """Fraction of SLO-carrying requests that met their SLO
+        (None when no request carried one)."""
+        if self.slo_requests == 0:
+            return None
+        return self.slo_met / self.slo_requests
+
+    @classmethod
+    def from_results(cls, results):
+        """Fold per-request results into latency statistics."""
+        latencies = [r.e2e_ms for r in results]
+        queues = [r.queue_ms for r in results]
+        with_slo = [r for r in results if r.slo_ms is not None]
+        return cls(
+            n=len(results),
+            p50_ms=percentile(latencies, 50),
+            p95_ms=percentile(latencies, 95),
+            p99_ms=percentile(latencies, 99),
+            mean_ms=sum(latencies) / len(latencies) if latencies else 0.0,
+            max_ms=max(latencies) if latencies else 0.0,
+            mean_queue_ms=sum(queues) / len(queues) if queues else 0.0,
+            slo_requests=len(with_slo),
+            slo_met=sum(1 for r in with_slo if r.slo_met),
+        )
 
 
 @dataclass(frozen=True)
@@ -49,6 +143,8 @@ class ServiceStats:
     wall_seconds: float
     total_cycles: int
     mean_utilization: float
+    makespan_seconds: float = 0.0
+    """Simulated seconds from clock zero to the last request's finish."""
 
     @property
     def hit_rate(self):
@@ -58,10 +154,17 @@ class ServiceStats:
 
     @property
     def requests_per_second(self):
-        """Simulation throughput of the drain."""
+        """Simulation throughput of the drain (wall clock)."""
         if self.wall_seconds <= 0:
             return float("inf")
         return self.n_requests / self.wall_seconds
+
+    @property
+    def modeled_requests_per_second(self):
+        """Modeled serving throughput on the simulated clock."""
+        if self.makespan_seconds <= 0:
+            return float("inf")
+        return self.n_requests / self.makespan_seconds
 
 
 @dataclass(frozen=True)
@@ -71,25 +174,34 @@ class ServeOutcome:
     results: tuple
     stats: ServiceStats
     workers: tuple
+    latency: LatencyStats = None
 
 
 class InferenceService:
-    """Accepts a stream of requests and serves them in batches.
+    """Accepts a stream of requests and serves them event-driven.
 
     Parameters
     ----------
     n_workers:
-        Size of the simulated accelerator pool; batches are placed
-        round-robin.
+        Size of the simulated accelerator pool; each sealed batch goes
+        to the lowest-indexed instance free when it is dispatched.
     cache:
         An :class:`AutotuneCache` shared by all instances, ``True`` for
         a fresh one, or None to disable caching (every request runs the
         full auto-tuner — the ablation mode of the serving benchmark).
     max_batch:
-        Optional cap on scheduler batch size.
+        Optional cap on batch size; a config group is sealed as soon as
+        it accumulates this many requests.
+    max_wait:
+        Optional bound (simulated seconds) on how long a sealed-pending
+        request may wait for its batch to fill — the batch timeout that
+        keeps SLO-less streaming traffic from queueing indefinitely.
+        None disables it (batches then cut on size, deadline slack or
+        end of stream only).
     """
 
-    def __init__(self, *, n_workers=2, cache=True, max_batch=None):
+    def __init__(self, *, n_workers=2, cache=True, max_batch=None,
+                 max_wait=None):
         check_positive_int(n_workers, "n_workers")
         if cache is True:
             cache = AutotuneCache()
@@ -100,8 +212,10 @@ class InferenceService:
             )
         self.cache = cache
         self.queue = RequestQueue()
-        self.scheduler = Scheduler(max_batch=max_batch)
+        self.max_batch = _check_max_batch(max_batch)
+        self.max_wait = _check_max_wait(max_wait)
         self.workers = [WorkerState(index=i) for i in range(n_workers)]
+        self._n_batches = 0
 
     def submit(self, request):
         """Queue one request; returns its id."""
@@ -114,37 +228,101 @@ class InferenceService:
     def drain(self):
         """Serve everything queued; returns a :class:`ServeOutcome`.
 
-        Results come back in request arrival order regardless of batch
+        Runs the event loop over the queued arrival stream. Results
+        come back in request arrival order regardless of batch
         placement, so callers can zip them against what they submitted.
+
+        Each drain is an independent simulation epoch: the clock
+        restarts at zero and every instance starts idle. The cache and
+        the cumulative per-instance counters carry over — that is the
+        "warm service" the multi-drain pattern models.
         """
         queued = self.queue.drain()
+        for worker in self.workers:
+            worker.free_at = 0.0
         # Without an explicit batch cap, bound batches so one giant
         # config group still spreads over the whole instance pool (each
         # instance configures once and takes a contiguous share) instead
         # of serializing on instance 0.
-        pool_cap = None
-        if self.scheduler.max_batch is None and len(self.workers) > 1:
-            pool_cap = -(-len(queued) // len(self.workers)) or None
-        batches = self.scheduler.plan(queued, max_batch=pool_cap)
+        cap = self.max_batch
+        if cap is None and len(self.workers) > 1:
+            cap = -(-len(queued) // len(self.workers)) or None
+        stream = StreamingScheduler(max_batch=cap, max_wait=self.max_wait)
+
         results = []
+        clock = 0.0
+        i, n = 0, len(queued)
+        batches_before = self._n_batches
         started = time.perf_counter()
-        for batch in batches:
-            worker = self.workers[batch.index % len(self.workers)]
-            batch_started = time.perf_counter()
-            for item in batch.items:
-                results.append((item.seq, self._serve_one(item, batch, worker)))
-            worker.busy_seconds += time.perf_counter() - batch_started
-            worker.batches_served += 1
+        while i < n or stream.pending or stream.ready:
+            # Admit everything that has arrived by now. Size cuts
+            # happen inside admit(), in arrival order.
+            while i < n and queued[i].arrival_time <= clock:
+                stream.admit(queued[i])
+                i += 1
+            # Seal groups whose deadline slack (or batch timeout) is up.
+            stream.cut_due(clock)
+            # The arrival stream has ended: nothing more can join a
+            # group, so seal the remainder.
+            if i >= n:
+                stream.flush()
+            # Hand sealed batches, tightest deadline first, to free
+            # instances (lowest index when several are free).
+            while stream.ready:
+                worker = self._free_worker(clock)
+                if worker is None:
+                    break
+                self._serve_batch(stream.pop_ready(), worker, clock,
+                                  stream, results)
+            # Advance the clock to the next event: an arrival, a
+            # deadline-forced cut, or an instance freeing up.
+            horizon = []
+            if i < n:
+                horizon.append(queued[i].arrival_time)
+            if stream.pending:
+                horizon.append(stream.next_cut_time())
+            if stream.ready:
+                horizon.append(min(w.free_at for w in self.workers))
+            if not horizon:
+                break
+            clock = max(clock, min(horizon))
         wall = time.perf_counter() - started
+
         results.sort(key=lambda pair: pair[0])
         results = tuple(result for _seq, result in results)
+        n_batches = self._n_batches - batches_before
         return ServeOutcome(
             results=results,
-            stats=self._stats(results, len(batches), wall),
+            stats=self._stats(results, n_batches, wall),
             workers=tuple(self.workers),
+            latency=LatencyStats.from_results(results),
         )
 
-    def _serve_one(self, item, batch, worker):
+    def _free_worker(self, clock):
+        """The lowest-indexed instance idle at ``clock``, or None."""
+        for worker in self.workers:
+            if worker.free_at <= clock:
+                return worker
+        return None
+
+    def _serve_batch(self, batch, worker, clock, stream, results):
+        """Run one sealed batch back-to-back on one instance."""
+        start = max(clock, worker.free_at)
+        now = start
+        wall_started = time.perf_counter()
+        for item in batch.items:
+            result = self._serve_one(item, batch, worker, now)
+            now = result.finish_time
+            stream.observe(item.request.config, item.request.a_hops,
+                           result.modeled_seconds)
+            results.append((item.seq, result))
+        worker.busy_seconds += time.perf_counter() - wall_started
+        worker.free_at = now
+        worker.modeled_busy_seconds += now - start
+        worker.batches_served += 1
+        self._n_batches += 1
+
+    def _serve_one(self, item, batch, worker, start):
         """Run one request on one instance and record the outcome."""
         request = item.request
         dataset = request.resolve_graph()
@@ -155,6 +333,9 @@ class InferenceService:
         report = accel.run(cache=self.cache)
         elapsed = time.perf_counter() - started
         worker.requests_served += 1
+        service_seconds = request.config.cycles_to_seconds(
+            report.total_cycles
+        )
         return InferenceResult(
             request_id=request.request_id,
             dataset=getattr(dataset, "name", "custom"),
@@ -166,6 +347,10 @@ class InferenceService:
             worker=worker.index,
             batch=batch.index,
             sim_seconds=elapsed,
+            arrival_time=request.arrival_time,
+            start_time=start,
+            finish_time=start + service_seconds,
+            slo_ms=request.slo_ms,
         )
 
     def _stats(self, results, n_batches, wall):
@@ -180,13 +365,18 @@ class InferenceService:
             wall_seconds=wall,
             total_cycles=sum(r.total_cycles for r in results),
             mean_utilization=sum(utils) / len(utils) if utils else 0.0,
+            makespan_seconds=max(
+                (r.finish_time for r in results), default=0.0
+            ),
         )
 
 
-def serve_requests(requests, *, n_workers=2, cache=True, max_batch=None):
+def serve_requests(requests, *, n_workers=2, cache=True, max_batch=None,
+                   max_wait=None):
     """One-shot convenience: submit ``requests``, drain, return outcome."""
     service = InferenceService(
-        n_workers=n_workers, cache=cache, max_batch=max_batch
+        n_workers=n_workers, cache=cache, max_batch=max_batch,
+        max_wait=max_wait,
     )
     service.submit_many(requests)
     return service.drain()

@@ -8,11 +8,18 @@ hotter), which is exactly the regime the
 :class:`~repro.serve.AutotuneCache` targets — the first request per
 (graph, config) pays the auto-tuner warm-up, every repeat takes the
 frozen fast path.
+
+For the event-driven serving loop the same mixes become *streams*:
+:func:`poisson_arrivals` and :func:`bursty_arrivals` generate fully
+seeded arrival-time processes, and :func:`streaming_traffic` stamps
+them (plus an optional latency SLO) onto a synthetic mix, producing
+requests the :class:`~repro.serve.InferenceService` admits as its
+simulated clock advances.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import lru_cache
 
 import numpy as np
@@ -151,4 +158,84 @@ def synthetic_traffic(n_requests, *, n_graphs=4, n_nodes=2048, seed=7,
             config=configs[i % len(configs)],
         )
         for i, graph_idx in enumerate(choices)
+    ]
+
+
+def _check_rate(rate):
+    try:
+        rate = float(rate)
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"rate must be a number, got {type(rate).__name__}"
+        )
+    if not rate > 0:
+        raise ConfigError(f"rate must be > 0, got {rate}")
+    return rate
+
+
+def poisson_arrivals(n_requests, *, rate, seed=0, start=0.0):
+    """Arrival times of a Poisson process at ``rate`` requests/second.
+
+    Inter-arrival gaps are i.i.d. exponential with mean ``1/rate``;
+    times are the running sum from ``start``. Fully seeded, so a trace
+    regenerates bit-identically. Returns a non-decreasing float array
+    of length ``n_requests``.
+    """
+    check_positive_int(n_requests, "n_requests")
+    rate = _check_rate(rate)
+    rng = rng_from_seed(seed)
+    gaps = rng.exponential(1.0 / rate, size=n_requests)
+    return start + np.cumsum(gaps)
+
+
+def bursty_arrivals(n_requests, *, rate, burst_size=8, seed=0, start=0.0):
+    """Arrival times of an on/off bursty process averaging ``rate`` req/s.
+
+    Requests arrive in bursts of ``burst_size`` sharing one timestamp
+    (think a fanned-out page render or a retry storm); burst epochs are
+    Poisson at ``rate / burst_size``, so the long-run request rate
+    matches :func:`poisson_arrivals` while the instantaneous load is
+    far spikier — the regime that stresses deadline-aware batch
+    cutting. Returns a non-decreasing float array of ``n_requests``.
+    """
+    check_positive_int(n_requests, "n_requests")
+    check_positive_int(burst_size, "burst_size")
+    rate = _check_rate(rate)
+    rng = rng_from_seed(seed)
+    n_bursts = -(-n_requests // burst_size)
+    epochs = np.cumsum(rng.exponential(burst_size / rate, size=n_bursts))
+    return start + np.repeat(epochs, burst_size)[:n_requests]
+
+
+def streaming_traffic(n_requests, *, arrival_rate, arrival="poisson",
+                      burst_size=8, slo_ms=None, n_graphs=4, n_nodes=2048,
+                      seed=7, configs=None, avg_degree=8, zipf_skew=1.1,
+                      graph_kwargs=None):
+    """A :func:`synthetic_traffic` mix stamped with an arrival process.
+
+    ``arrival`` selects the process (``"poisson"`` or ``"bursty"`` at
+    ``arrival_rate`` requests/second); ``slo_ms`` attaches the same
+    end-to-end latency SLO to every request (None = no deadlines).
+    Everything derives from ``seed``, so the trace — graphs, arrival
+    times and deadlines — is deterministic. Returns requests in arrival
+    order, ready for :meth:`InferenceService.submit_many`.
+    """
+    base = synthetic_traffic(
+        n_requests, n_graphs=n_graphs, n_nodes=n_nodes, seed=seed,
+        configs=configs, avg_degree=avg_degree, zipf_skew=zipf_skew,
+        graph_kwargs=graph_kwargs,
+    )
+    if arrival == "poisson":
+        times = poisson_arrivals(n_requests, rate=arrival_rate, seed=seed)
+    elif arrival == "bursty":
+        times = bursty_arrivals(
+            n_requests, rate=arrival_rate, burst_size=burst_size, seed=seed
+        )
+    else:
+        raise ConfigError(
+            f"arrival must be 'poisson' or 'bursty', got {arrival!r}"
+        )
+    return [
+        replace(request, arrival_time=float(when), slo_ms=slo_ms)
+        for request, when in zip(base, times)
     ]

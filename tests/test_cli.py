@@ -97,6 +97,46 @@ class TestCommands:
         assert args.requests == 96
         assert args.graphs == 4
         assert args.workers == 2
+        assert args.arrival_rate is None
+        assert args.slo_ms is None
+        assert args.arrival is None
+
+    def test_serve_bench_streaming_flags_need_arrival_rate(self, capsys):
+        # --slo-ms etc. without --arrival-rate would silently fall
+        # through to the offline throughput bench; reject instead.
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--slo-ms", "5"])
+        assert "--arrival-rate" in capsys.readouterr().err
+
+    def test_serve_bench_streaming_mode(self, capsys, tmp_path):
+        code = main([
+            "serve-bench", "--requests", "10", "--graphs", "2",
+            "--nodes", "384", "--pes", "16", "--workers", "2",
+            "--seed", "3", "--arrival-rate", "4000", "--slo-ms", "2",
+            "--max-batch", "4", "--out", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Serving latency" in out
+        assert "p50" in out and "p99" in out
+        assert "SLO" in out
+        assert "timeline-identical" in out
+        assert (tmp_path / "serve_latency.csv").exists()
+
+    def test_serve_bench_bursty_arrivals(self, capsys):
+        code = main([
+            "serve-bench", "--requests", "8", "--graphs", "2",
+            "--nodes", "384", "--pes", "16", "--seed", "3",
+            "--arrival-rate", "2000", "--arrival", "bursty",
+        ])
+        assert code == 0
+        assert "bursty arrivals" in capsys.readouterr().out
+
+    def test_serve_bench_rejects_unknown_arrival(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve-bench", "--arrival", "psychic"]
+            )
 
     def test_module_entry_point(self):
         import subprocess

@@ -103,6 +103,122 @@ class TestSchedulerOrdering:
         assert [b.index for b in batches] == [0, 1]
 
 
+class TestSchedulerValidation:
+    def test_rejects_zero_max_batch(self):
+        with pytest.raises(ConfigError):
+            Scheduler(max_batch=0)
+
+    def test_rejects_negative_max_batch(self):
+        with pytest.raises(ConfigError):
+            Scheduler(max_batch=-3)
+
+    def test_rejects_non_int_max_batch(self):
+        with pytest.raises(ConfigError):
+            Scheduler(max_batch=2.5)
+
+    def test_plan_rejects_zero_max_batch_override(self):
+        # max_batch=0 used to fall through `size = max_batch or len(items)`
+        # and silently mean "unbounded"; it must be rejected instead.
+        queue = RequestQueue()
+        queue.submit_many(_requests("aaa"))
+        with pytest.raises(ConfigError):
+            Scheduler().plan(queue.drain(), max_batch=0)
+
+    def test_queue_rejects_non_monotonic_arrivals(self):
+        queue = RequestQueue()
+        queue.submit(InferenceRequest(
+            graph=SPEC, config=CFG_A, arrival_time=2.0
+        ))
+        with pytest.raises(ConfigError):
+            queue.submit(InferenceRequest(
+                graph=SPEC, config=CFG_A, arrival_time=1.0
+            ))
+
+    def test_queue_accepts_equal_arrivals(self):
+        # A burst: several requests sharing one timestamp is legal.
+        queue = RequestQueue()
+        for _ in range(3):
+            queue.submit(InferenceRequest(
+                graph=SPEC, config=CFG_A, arrival_time=1.5
+            ))
+        assert len(queue) == 3
+
+
+class TestAutotuneCacheLRU:
+    def _entry(self):
+        return CachedTuning(layers=())
+
+    def _filled(self, max_entries, n):
+        cache = AutotuneCache(max_entries=max_entries)
+        for i in range(n):
+            cache.store(f"g{i}", CFG_A, self._entry())
+        return cache
+
+    def test_rejects_bad_bound(self):
+        for bad in (0, -1, 1.5, "big"):
+            with pytest.raises(ConfigError):
+                AutotuneCache(max_entries=bad)
+
+    def test_unbounded_by_default(self):
+        cache = self._filled(None, 50)
+        assert len(cache) == 50
+        assert cache.stats.evictions == 0
+
+    def test_evicts_oldest_first(self):
+        cache = self._filled(3, 4)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 1
+        assert AutotuneCache.key("g0", CFG_A) not in cache
+        for kept in ("g1", "g2", "g3"):
+            assert AutotuneCache.key(kept, CFG_A) in cache
+
+    def test_lookup_refreshes_recency(self):
+        cache = self._filled(3, 3)
+        # Touch g0: it becomes most-recent, so g1 is evicted next.
+        assert cache.lookup("g0", CFG_A) is not None
+        cache.store("g3", CFG_A, self._entry())
+        assert AutotuneCache.key("g0", CFG_A) in cache
+        assert AutotuneCache.key("g1", CFG_A) not in cache
+
+    def test_store_overwrite_refreshes_recency(self):
+        cache = self._filled(3, 3)
+        cache.store("g0", CFG_A, self._entry())
+        cache.store("g3", CFG_A, self._entry())
+        assert AutotuneCache.key("g0", CFG_A) in cache
+        assert AutotuneCache.key("g1", CFG_A) not in cache
+
+    def test_miss_does_not_refresh(self):
+        cache = self._filled(3, 3)
+        assert cache.lookup("nope", CFG_A) is None
+        cache.store("g3", CFG_A, self._entry())
+        assert AutotuneCache.key("g0", CFG_A) not in cache
+
+    def test_clear_resets_evictions(self):
+        cache = self._filled(2, 4)
+        assert cache.stats.evictions == 2
+        cache.clear()
+        assert cache.stats.evictions == 0
+
+    def test_bound_holds_under_service_traffic(self):
+        # A bounded cache serving more unique (graph, config) pairs than
+        # it can hold must keep working — just with more misses.
+        cache = AutotuneCache(max_entries=1)
+        outcome = serve_requests(_requests("abab"), n_workers=1,
+                                 cache=cache, max_batch=1)
+        assert len(cache) == 1
+        assert cache.stats.evictions >= 1
+        assert outcome.stats.n_requests == 4
+
+    def test_load_applies_bound(self, tiny_nell, tmp_path):
+        cache = AutotuneCache()
+        GcnAccelerator(tiny_nell, CFG_A).run(cache=cache)
+        GcnAccelerator(tiny_nell, CFG_B).run(cache=cache)
+        path = cache.save(tmp_path / "cache.npz")
+        restored = AutotuneCache.load(path, max_entries=1)
+        assert len(restored) == 1
+        assert restored.max_entries == 1
+
+
 class TestAutotuneCache:
     def test_miss_then_hit(self, tiny_cora):
         cache = AutotuneCache()

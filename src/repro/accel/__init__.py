@@ -30,7 +30,13 @@ from repro.accel.workload import (
     per_pe_loads,
     per_pe_max_row,
 )
-from repro.accel.localshare import share_makespan, share_window_bounds
+from repro.accel.localshare import (
+    share_effective_loads,
+    share_makespan,
+    share_makespan_batch,
+    share_window_bounds,
+    share_window_bounds_batch,
+)
 from repro.accel.remote import RemoteAutoTuner, TrackedTuple, TuningOutcome
 from repro.accel.cyclemodel import (
     SpmmJob,
@@ -61,8 +67,11 @@ __all__ = [
     "initial_assignment",
     "per_pe_loads",
     "per_pe_max_row",
+    "share_effective_loads",
     "share_makespan",
+    "share_makespan_batch",
     "share_window_bounds",
+    "share_window_bounds_batch",
     "RemoteAutoTuner",
     "TrackedTuple",
     "TuningOutcome",

@@ -16,6 +16,15 @@ After the auto-tuner freezes, every remaining round is identical, so the
 model evaluates one frozen round and multiplies — this is what makes
 Reddit-scale simulation instantaneous while early-round underutilization
 (the paper's residual 4-10% gap) is still captured faithfully.
+
+The tuning phase itself is batched: the Eq. 5 switch trajectory depends
+only on observed loads (never on measured makespans), so the model
+speculates a chunk of rounds ahead, prices every candidate load vector
+in one :func:`~repro.accel.localshare.share_makespan_batch` kernel
+call, and commits the observations after the fact — eliminating the
+one-Hall-bound-per-round Python loop while staying bit-identical to it
+(the sequential loop survives behind ``batched_tuning=False`` as the
+regression oracle and the baseline of ``repro bench-rebalance``).
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.accel.config import ArchConfig
-from repro.accel.localshare import share_makespan
+from repro.accel.localshare import share_makespan, share_makespan_batch
 from repro.accel.remote import RemoteAutoTuner
 from repro.accel.workload import RowAssignment
 from repro.errors import ConfigError
@@ -144,12 +153,20 @@ class SpmmResult:
         return self.total_work / denom if denom else 0.0
 
 
-def simulate_spmm(job, config, *, initial_owner=None):
+def simulate_spmm(job, config, *, initial_owner=None, batched_tuning=True):
     """Simulate one SPMM under ``config``; returns :class:`SpmmResult`.
 
     ``initial_owner`` warm-starts the row->PE map (the paper reuses the
     converged configuration when the same sparse matrix appears again,
     e.g. A in layer 2 after tuning in layer 1).
+
+    ``batched_tuning`` selects how the Eq. 5 tuning phase is priced:
+    the default speculates the switch-only load trajectory a chunk of
+    rounds ahead (:meth:`RemoteAutoTuner.speculate_loads`) and prices
+    every candidate round in one batched Hall-bound kernel call;
+    ``False`` keeps the original one-``share_makespan``-per-round loop.
+    Both paths are bit-identical — the sequential one survives as the
+    regression oracle and the "old" side of ``repro bench-rebalance``.
     """
     if not isinstance(job, SpmmJob):
         raise ConfigError(f"job must be SpmmJob, got {type(job).__name__}")
@@ -177,26 +194,21 @@ def simulate_spmm(job, config, *, initial_owner=None):
     converged_round = None
     round_idx = 0
     hall_for_backlog = None
-    while round_idx < job.n_rounds:
-        makespan, hall = _round_makespan_parts(assignment, config)
-        backlog = max(0, makespan - ideal)
-        if backlog > max_backlog:
-            max_backlog = backlog
-        cost = makespan + config.drain_cycles
-        if tuner is not None and not tuner.converged:
-            cycles[round_idx] = cost
-            tuner.observe_round(makespan)
-            if tuner.converged:
-                converged_round = tuner.converged_round
-            round_idx += 1
-            continue
+    if tuner is not None:
+        drive = _drive_tuner_batched if batched_tuning else _drive_tuner
+        round_idx, max_backlog = drive(
+            tuner, assignment, config, cycles, job.n_rounds, ideal
+        )
+        converged_round = tuner.converged_round
+    if round_idx < job.n_rounds:
         # Static map (no tuner, or frozen): all remaining rounds are
-        # identical — fill and stop iterating. Only here is the Hall
+        # identical — evaluate once and fill. Only here is the Hall
         # bound known to describe the *final* map (the tuner can still
         # mutate the assignment when the rounds run out mid-tuning).
-        cycles[round_idx:] = cost
+        makespan, hall = _round_makespan_parts(assignment, config)
+        max_backlog = max(max_backlog, max(0, makespan - ideal))
+        cycles[round_idx:] = makespan + config.drain_cycles
         hall_for_backlog = hall
-        break
 
     per_pe_backlog = _steady_state_backlog(
         assignment, config, ideal, hall_bound=hall_for_backlog
@@ -230,7 +242,9 @@ def simulate_spmm_frozen(job, config, owner, *, warmup_costs=(),
     :class:`SpmmResult` is cycle-identical to the cold
     :func:`simulate_spmm` run that produced the cache entry — the
     tuner's O(rounds) control loop and row shuffling are skipped
-    entirely.
+    entirely. The frozen makespan goes through the same batched Hall
+    kernel as the tuning phase (via :func:`_round_makespan_parts`), so
+    the two paths cannot drift.
 
     ``final_backlog``/``total_backlog`` optionally supply the cached
     steady-state queue statistics (pure functions of ``owner`` and
@@ -283,6 +297,65 @@ def simulate_spmm_frozen(job, config, owner, *, warmup_costs=(),
         total_backlog=int(total_backlog),
         final_owner=assignment.snapshot(),
     )
+
+
+# How many tuning rounds to speculate per batched kernel call. The
+# Eq. 5 tuner typically freezes within a handful of rounds (patience 2-4
+# in every shipped config), so one chunk usually covers the whole
+# tuning phase; rounds speculated past a patience freeze only waste
+# their share of one batched Hall evaluation.
+_TUNING_CHUNK = 8
+
+
+def _drive_tuner(tuner, assignment, config, cycles, n_rounds, ideal):
+    """Sequential reference tuning driver (one Hall bound per round).
+
+    The original pre-vectorization control loop, kept bit-identical as
+    the regression oracle for :func:`_drive_tuner_batched` and as the
+    "old" side of ``repro bench-rebalance``. Fills ``cycles`` for every
+    observed round; returns ``(rounds_consumed, max_backlog)``.
+    """
+    round_idx = 0
+    max_backlog = 0
+    while round_idx < n_rounds and not tuner.converged:
+        makespan, _hall = _round_makespan_parts(assignment, config)
+        max_backlog = max(max_backlog, max(0, makespan - ideal))
+        cycles[round_idx] = makespan + config.drain_cycles
+        tuner.observe_round(makespan)
+        round_idx += 1
+    return round_idx, max_backlog
+
+
+def _drive_tuner_batched(tuner, assignment, config, cycles, n_rounds, ideal):
+    """Chunked tuning driver: price whole round batches in one kernel.
+
+    Speculates the tuner's switch-only load trajectory up to
+    ``_TUNING_CHUNK`` rounds ahead, evaluates all candidate rounds'
+    makespans in a single :func:`share_makespan_batch` call, then
+    commits the real observations (which may stop early on a patience
+    freeze — leftover speculative rounds are discarded). Bit-identical
+    to :func:`_drive_tuner`: the real tuner replays the exact same
+    :meth:`~RemoteAutoTuner.observe_round` sequence, only the makespan
+    *evaluation* is batched. Returns ``(rounds_consumed, max_backlog)``.
+    """
+    round_idx = 0
+    max_backlog = 0
+    drain = config.drain_cycles
+    raw_bound = _raw_hazard_bound(assignment, config)  # load-map invariant
+    while round_idx < n_rounds and not tuner.converged:
+        budget = min(_TUNING_CHUNK, n_rounds - round_idx)
+        loads_matrix = tuner.speculate_loads(budget)
+        halls = share_makespan_batch(loads_matrix, config.hop)
+        spans = np.ceil(halls / config.sharing_efficiency).astype(np.int64)
+        makespans = np.maximum(spans, raw_bound)
+        consumed = tuner.observe_rounds(makespans)
+        if consumed == 0:  # cannot happen: guards an infinite loop
+            raise AssertionError("tuner consumed no speculated rounds")
+        chunk = makespans[:consumed]
+        cycles[round_idx:round_idx + consumed] = chunk + drain
+        max_backlog = max(max_backlog, max(0, int(chunk.max()) - ideal))
+        round_idx += consumed
+    return round_idx, max_backlog
 
 
 def _steady_state_backlog(assignment, config, ideal, *, hall_bound=None):

@@ -165,6 +165,97 @@ class RemoteAutoTuner:
         )
         return moved > 0
 
+    def speculate_loads(self, budget):
+        """Per-PE loads of the next up-to-``budget`` rounds, as a matrix.
+
+        Row ``k`` is the load vector the tuner would observe at its
+        ``k``-th upcoming :meth:`observe_round` call — row 0 is the
+        current assignment's loads, later rows follow the Eq. 5 switch
+        trajectory. The trajectory is *switch-only*: which rows move
+        depends only on loads, gaps and the tracked-tuple state, never
+        on measured makespans (those influence only best-map tracking
+        and the patience freeze), so it can be rolled forward on a
+        shadow copy without knowing any makespan. This is what lets
+        the cycle model price a whole chunk of tuning rounds in one
+        batched Hall-bound kernel call and then commit the real
+        observations via :meth:`observe_rounds`.
+
+        Fewer than ``budget`` rows come back when the trajectory
+        provably freezes early regardless of makespans (zero gap, or a
+        zero patience). A patience freeze driven by real makespans can
+        still cut the consumed prefix shorter — extra speculative rows
+        are then simply discarded. Pure: neither the tuner nor its
+        assignment is mutated. Returns an ``int64`` array of shape
+        ``(rounds, n_pes)`` (empty when converged or ``budget <= 0``).
+        """
+        budget = int(budget)
+        if budget <= 0 or self.converged:
+            return np.empty((0, self.assignment.n_pes), dtype=np.int64)
+        clone = self._speculation_clone()
+        rows = [self.assignment.loads.copy()]
+        # Strictly improving probe makespans keep the clone's stall
+        # counter at zero, so the clone freezes exactly when the real
+        # tuner would freeze for makespan-independent reasons.
+        probe = 0
+        while len(rows) < budget:
+            clone.observe_round(probe)
+            probe -= 1
+            if clone.converged:
+                break
+            rows.append(clone.assignment.loads.copy())
+        return np.asarray(rows, dtype=np.int64)
+
+    def observe_rounds(self, makespans):
+        """Feed a batch of measured makespans; returns rounds consumed.
+
+        Equivalent to calling :meth:`observe_round` once per entry in
+        order, stopping after the call that freezes the map (the freeze
+        round itself is consumed — its makespan was measured). The
+        ``makespans`` must price the load vectors
+        :meth:`speculate_loads` returned, in the same order.
+        """
+        consumed = 0
+        for makespan in np.asarray(makespans, dtype=np.int64).tolist():
+            if self.converged:
+                break
+            self.observe_round(makespan)
+            consumed += 1
+        return consumed
+
+    def _speculation_clone(self):
+        """A throwaway tuner sharing this one's switch-relevant state.
+
+        The clone owns a copied :class:`RowAssignment` and copied
+        tracked tuples, so driving it leaves the real tuner untouched;
+        makespan-derived state (best map, stall counter, histories) is
+        deliberately fresh — speculation never consults it.
+        """
+        shadow = RowAssignment(
+            self.assignment.row_nnz,
+            self.assignment.n_pes,
+            owner=self.assignment.owner,
+        )
+        clone = RemoteAutoTuner(
+            shadow,
+            rows_per_pe_equal=self.rows_per_pe_equal,
+            tracking_window=self.tracking_window,
+            damping=self.damping,
+            patience=self.patience,
+            approximate=self.approximate,
+        )
+        clone.round_index = self.round_index
+        clone.initial_gap = self.initial_gap
+        clone.tracked = [
+            TrackedTuple(
+                hot=slot.hot,
+                cold=slot.cold,
+                n_switched=slot.n_switched,
+                rounds_tracked=slot.rounds_tracked,
+            )
+            for slot in self.tracked
+        ]
+        return clone
+
     def _find_or_create_slot(self, hot, cold):
         """Locate the tracked tuple for (hot, cold), evicting the oldest."""
         for slot in self.tracked:

@@ -18,6 +18,7 @@ from repro.analysis.figures import (
     fig15_scalability,
 )
 from repro.analysis.export import rows_to_csv, rows_to_json
+from repro.analysis.rebalance import compare_rebalance, rmat_pe_loads
 from repro.analysis.heatmap import (
     heat_strip,
     rebalancing_heat_story,
@@ -42,6 +43,8 @@ __all__ = [
     "fig15_scalability",
     "rows_to_csv",
     "rows_to_json",
+    "compare_rebalance",
+    "rmat_pe_loads",
     "heat_strip",
     "rebalancing_heat_story",
     "render_heat_story",

@@ -1,0 +1,187 @@
+"""The rebalancing-core microbenchmark behind ``repro bench-rebalance``.
+
+The runtime-rebalancing model has two hot loops, exercised once per
+round, per SPMM, per request by :mod:`repro.serve`:
+
+* the EDF transport of
+  :func:`~repro.accel.localshare.share_effective_loads`, which turns a
+  per-PE load vector into the executed-work vector at the Hall-bound
+  makespan (queue sizing, steady-state backlog);
+* the Eq. 5 auto-tuning phase of
+  :func:`~repro.accel.cyclemodel.simulate_spmm`, which prices one Hall
+  bound per tuning round until the map freezes.
+
+Both were pure-Python loops (a heap per receiver; one
+``share_makespan`` call per round) and are now vectorized — the
+transport as a closed-form prefix-sum sweep, the tuning phase as
+chunked speculation priced by one batched kernel call. This benchmark
+times old vs. new on fixed-seed RMAT workloads across PE counts and
+writes ``results/bench_rebalance.{csv,txt}``; the bench suite asserts
+the transport speedup stays >= 5x at 1024+ PEs.
+
+Both implementations are kept importable precisely so this comparison
+(and the bit-identity property tests) never rot: the heap transport
+survives as ``_share_effective_loads_reference`` and the sequential
+tuning driver behind ``simulate_spmm(..., batched_tuning=False)``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.accel.config import ArchConfig
+from repro.accel.cyclemodel import SpmmJob, simulate_spmm
+from repro.accel.localshare import (
+    _share_effective_loads_reference,
+    share_effective_loads,
+    share_makespan,
+)
+from repro.accel.workload import initial_assignment, per_pe_loads
+from repro.analysis.report import ascii_table
+from repro.datasets.rmat import rmat_edges
+from repro.errors import ConfigError
+from repro.utils.rng import rng_from_seed
+
+
+def rmat_pe_loads(n_pes, *, rows_per_pe=16, avg_degree=8,
+                  abcd=(0.5, 0.2, 0.2, 0.1), seed=7):
+    """Per-PE loads of a fixed-seed RMAT adjacency under the static map.
+
+    Builds an undirected RMAT graph with ``n_pes * rows_per_pe`` nodes,
+    takes its row-nnz profile as the per-row task counts, and folds it
+    onto ``n_pes`` PEs through the paper's contiguous equal-rows
+    partition — the load vector every round of an untuned SPMM sees.
+    """
+    n_nodes = int(n_pes) * int(rows_per_pe)
+    n_directed = max(n_nodes * avg_degree // 2, 1)
+    src, dst = rmat_edges(
+        n_nodes, n_directed, abcd=abcd, rng=rng_from_seed(seed)
+    )
+    row_nnz = np.bincount(
+        np.concatenate([src, dst]), minlength=n_nodes
+    ).astype(np.int64)
+    return per_pe_loads(
+        initial_assignment(n_nodes, n_pes), row_nnz, n_pes
+    ), row_nnz
+
+
+def _best_of(fn, repeats):
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def compare_rebalance(*, pe_counts=(64, 256, 1024, 4096), rows_per_pe=16,
+                      avg_degree=8, hop=2, n_rounds=64, seed=7, repeats=5,
+                      abcd=(0.5, 0.2, 0.2, 0.1)):
+    """Time old-vs-new rebalancing kernels; returns ``(rows, text)``.
+
+    One row per PE count. The transport columns time the full
+    ``share_effective_loads`` call with the Hall bound precomputed and
+    passed as ``cap`` — exactly how the cycle model's steady-state
+    backlog invokes it — against the retired heap implementation under
+    the same contract. The tuning columns time a complete
+    ``simulate_spmm`` run (Eq. 5 switching enabled, the serving
+    config's damped/patient tuner) with the batched driver against the
+    sequential reference. Every timed pair is also checked elementwise
+    /cycle-identical, so the speedup numbers can never come from a
+    divergent result.
+    """
+    pe_counts = tuple(int(p) for p in pe_counts)
+    if not pe_counts or any(p <= 0 for p in pe_counts):
+        raise ConfigError(f"pe_counts must be positive, got {pe_counts}")
+
+    rows = []
+    for n_pes in pe_counts:
+        loads, row_nnz = rmat_pe_loads(
+            n_pes, rows_per_pe=rows_per_pe, avg_degree=avg_degree,
+            abcd=abcd, seed=seed,
+        )
+        cap = share_makespan(loads, hop)
+
+        old_effective = _share_effective_loads_reference(loads, hop, cap=cap)
+        new_effective = share_effective_loads(loads, hop, cap=cap)
+        if not np.array_equal(old_effective, new_effective):
+            raise AssertionError(
+                f"transport mismatch at {n_pes} PEs — refusing to report "
+                "a speedup over a divergent result"
+            )
+        transport_old = _best_of(
+            lambda: _share_effective_loads_reference(loads, hop, cap=cap),
+            repeats,
+        )
+        transport_new = _best_of(
+            lambda: share_effective_loads(loads, hop, cap=cap), repeats
+        )
+
+        job = SpmmJob(name=f"rmat-{n_pes}", row_nnz=row_nnz,
+                      n_rounds=n_rounds)
+        config = ArchConfig(
+            n_pes=n_pes, hop=hop, remote_switching=True,
+            convergence_patience=4, switch_damping=0.7,
+        )
+        sequential = simulate_spmm(job, config, batched_tuning=False)
+        batched = simulate_spmm(job, config, batched_tuning=True)
+        if not np.array_equal(
+            sequential.cycles_per_round, batched.cycles_per_round
+        ):
+            raise AssertionError(
+                f"tuning mismatch at {n_pes} PEs — refusing to report a "
+                "speedup over a divergent result"
+            )
+        tuning_old = _best_of(
+            lambda: simulate_spmm(job, config, batched_tuning=False),
+            repeats,
+        )
+        tuning_new = _best_of(
+            lambda: simulate_spmm(job, config, batched_tuning=True), repeats
+        )
+
+        rows.append({
+            "n_pes": n_pes,
+            "n_nodes": n_pes * rows_per_pe,
+            "hop": hop,
+            "transport_old_ms": round(transport_old * 1e3, 4),
+            "transport_new_ms": round(transport_new * 1e3, 4),
+            "transport_speedup": round(transport_old / transport_new, 2),
+            "tuning_rounds": (
+                batched.converged_round
+                if batched.converged_round is not None else n_rounds
+            ),
+            "tuning_old_ms": round(tuning_old * 1e3, 4),
+            "tuning_new_ms": round(tuning_new * 1e3, 4),
+            "tuning_speedup": round(tuning_old / tuning_new, 2),
+        })
+
+    table = ascii_table(
+        ["PEs", "nodes", "hop", "transport old (ms)", "transport new (ms)",
+         "transport speedup", "tune rounds", "tuning old (ms)",
+         "tuning new (ms)", "tuning speedup"],
+        [[r["n_pes"], r["n_nodes"], r["hop"], r["transport_old_ms"],
+          r["transport_new_ms"], f'{r["transport_speedup"]}x',
+          r["tuning_rounds"], r["tuning_old_ms"], r["tuning_new_ms"],
+          f'{r["tuning_speedup"]}x'] for r in rows],
+        title=(
+            f"Rebalancing-core speedups: vectorized EDF transport and "
+            f"batched Eq. 5 tuning vs. the retired Python loops "
+            f"(RMAT, {rows_per_pe} rows/PE, degree {avg_degree}, "
+            f"hop {hop}, seed {seed}; best of {repeats})"
+        ),
+    )
+    wide = [r for r in rows if r["n_pes"] >= 1024]
+    summary = ""
+    if wide:
+        floor = min(r["transport_speedup"] for r in wide)
+        summary = (
+            f"\nshare_effective_loads speedup at 1024+ PEs: >= {floor}x "
+            f"(bit-identical to the heap reference)"
+        )
+    return rows, table + summary

@@ -12,6 +12,7 @@ Usage::
     python -m repro fig15 [--pe-counts 512,768,1024]
     python -m repro serve-bench [--requests 96] [--graphs 4]
     python -m repro serve-bench --arrival-rate 400 --slo-ms 5
+    python -m repro bench-rebalance [--pe-counts 64,256,1024,4096]
     python -m repro summary           # dataset inventory
 
 Each command prints the rendered table; ``--out DIR`` additionally
@@ -108,7 +109,33 @@ def build_parser():
                        help="batch-size cap in streaming mode (default: 8)")
     serve.add_argument("--out", default=None, metavar="DIR",
                        help="also write rows as CSV under DIR")
+
+    rebalance = sub.add_parser(
+        "bench-rebalance",
+        help=("time the vectorized rebalancing core (EDF transport + "
+              "batched Eq. 5 tuning) against the retired Python loops"),
+    )
+    rebalance.add_argument("--pe-counts", default="64,256,1024,4096",
+                           help="comma-separated PE counts "
+                                "(default: 64,256,1024,4096)")
+    rebalance.add_argument("--rows-per-pe", type=int, default=16,
+                           help="RMAT nodes per PE (default: 16)")
+    rebalance.add_argument("--hop", type=int, default=2,
+                           help="local-sharing hop distance (default: 2)")
+    rebalance.add_argument("--rounds", type=int, default=64,
+                           help="SPMM rounds for the tuning timing "
+                                "(default: 64)")
+    rebalance.add_argument("--repeats", type=int, default=5,
+                           help="best-of repeats per timing (default: 5)")
+    rebalance.add_argument("--seed", type=int, default=7)
+    rebalance.add_argument("--out", default=None, metavar="DIR",
+                           help="also write rows as CSV under DIR")
     return parser
+
+
+def _parse_pe_counts(raw):
+    """Parse a comma-separated --pe-counts value into a tuple of ints."""
+    return tuple(int(x) for x in raw.split(",") if x.strip())
 
 
 def _dataset_list(args):
@@ -173,6 +200,19 @@ def main(argv=None):
         )
         return _emit(args, "serve_bench", rows, text)
 
+    if args.command == "bench-rebalance":
+        from repro.analysis import compare_rebalance
+
+        rows, text = compare_rebalance(
+            pe_counts=_parse_pe_counts(args.pe_counts),
+            rows_per_pe=args.rows_per_pe,
+            hop=args.hop,
+            n_rounds=args.rounds,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+        return _emit(args, "bench_rebalance", rows, text)
+
     datasets = _dataset_list(args)
     common = {"preset": args.preset, "seed": args.seed, "datasets": datasets}
 
@@ -198,10 +238,9 @@ def main(argv=None):
         rows, text = fig14_resources(n_pes=args.pes, **common)
         return _emit(args, "fig14_resources", rows, text)
     if args.command == "fig15":
-        pe_counts = tuple(
-            int(x) for x in args.pe_counts.split(",") if x.strip()
+        rows, text = fig15_scalability(
+            pe_counts=_parse_pe_counts(args.pe_counts), **common
         )
-        rows, text = fig15_scalability(pe_counts=pe_counts, **common)
         return _emit(args, "fig15", rows, text)
     if args.command == "summary":
         names = datasets or dataset_names()

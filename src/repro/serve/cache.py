@@ -98,7 +98,13 @@ class AutotuneCache:
     def lookup(self, fingerprint, config):
         """Return the cached :class:`CachedTuning` or None (counted).
 
-        A hit refreshes the key's LRU recency.
+        ``fingerprint`` is the workload's structural hash
+        (:meth:`~repro.accel.GcnAccelerator.fingerprint` — any object
+        whose ``str()`` names the workload deterministically) and
+        ``config`` the :class:`~repro.accel.ArchConfig` it would run
+        under; together they form the cache key. Every call counts as
+        a hit or miss in :attr:`stats`; a hit refreshes the key's LRU
+        recency.
         """
         key = self.key(fingerprint, config)
         entry = self._entries.get(key)
@@ -112,8 +118,13 @@ class AutotuneCache:
     def store(self, fingerprint, config, entry):
         """Insert (or overwrite) the tuning state for a key.
 
-        The key becomes the most recently used; when ``max_entries`` is
-        set, least-recently-used entries are evicted to make room.
+        ``fingerprint``/``config`` form the key as in :meth:`lookup`;
+        ``entry`` must be a :class:`~repro.accel.CachedTuning` (the
+        frozen owner maps plus warm-up cycle traces of one full
+        inference — cycle counts, not timestamps, so an entry is valid
+        under any arrival pattern). The key becomes the most recently
+        used; when ``max_entries`` is set, least-recently-used entries
+        are evicted to make room.
         """
         if not isinstance(entry, CachedTuning):
             raise ConfigError(

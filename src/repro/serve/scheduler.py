@@ -230,6 +230,23 @@ class StreamingScheduler:
     out the batch with the tightest deadline, ties broken by the oldest
     member's arrival sequence — so SLO-less traffic degrades to plain
     FIFO and no config group can starve another with equal deadlines.
+
+    Parameters
+    ----------
+    max_batch:
+        Size cut threshold in requests (None = no size cuts). Positive
+        int.
+    max_wait:
+        Timeout cut threshold in *simulated seconds* measured from the
+        oldest member's arrival (None = no timeout cuts).
+
+    All times this class consumes and produces — :meth:`cut_due` /
+    :meth:`next_cut_time` instants, deadlines, :meth:`observe` service
+    estimates — are simulated seconds on the serving loop's clock,
+    never wall-clock. An SLO enters as the member's absolute deadline
+    ``arrival_time + slo_ms / 1e3`` and influences *when* its batch is
+    cut and *which* ready batch dispatches first; expired deadlines are
+    not shed here (the service reports them as SLO misses).
     """
 
     def __init__(self, *, max_batch=None, max_wait=None):
@@ -271,7 +288,15 @@ class StreamingScheduler:
             self._cut(key)
 
     def observe(self, config, a_hops, seconds):
-        """Feed back one request's modeled service seconds (EWMA)."""
+        """Feed back one served request's modeled service time.
+
+        ``seconds`` is the request's modeled hardware service time in
+        simulated seconds (cycles at the config clock — not the
+        wall-clock simulation cost). Updates the ``(config, a_hops)``
+        group's EWMA estimate (half-life one observation), which the
+        deadline cut uses to answer "how long would this batch take if
+        it started now".
+        """
         key = (config, a_hops)
         previous = self._estimates.get(key)
         if previous is None:
@@ -297,7 +322,13 @@ class StreamingScheduler:
         return min(times) if times else math.inf
 
     def cut_due(self, now):
-        """Seal every group whose cut time has passed; returns the count."""
+        """Seal every group whose cut time has passed; returns the count.
+
+        ``now`` is the current simulated-clock second. A group is due
+        when its tightest member deadline minus the estimated batch
+        service time, or its oldest member's ``max_wait`` timeout,
+        is at or before ``now``.
+        """
         cut = 0
         for key in self._order:
             if self._groups.get(key) and self._cut_time(key) <= now:

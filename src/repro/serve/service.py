@@ -198,6 +198,31 @@ class InferenceService:
         keeps SLO-less streaming traffic from queueing indefinitely.
         None disables it (batches then cut on size, deadline slack or
         end of stream only).
+
+    Units
+    -----
+    Two clocks must never mix (see the module docstring). Everything
+    scheduling-related — ``arrival_time``, ``max_wait``, deadlines,
+    ``free_at``, the ``start_time``/``finish_time`` of results,
+    ``LatencyStats`` — is *simulated* time: seconds of modeled hardware
+    derived from cycle counts via
+    :meth:`~repro.accel.ArchConfig.cycles_to_seconds` (latencies are
+    reported in simulated *milliseconds*). Only
+    ``ServiceStats.wall_seconds``, ``WorkerState.busy_seconds`` and
+    ``InferenceResult.sim_seconds`` are wall-clock: they measure how
+    long the *simulation* took, the cost the autotune cache shrinks.
+
+    SLO semantics
+    -------------
+    A request with ``slo_ms`` set carries the absolute deadline
+    ``arrival_time + slo_ms / 1e3`` (simulated seconds). Deadlines
+    steer scheduling twice — the tightest member deadline decides when
+    a pending batch must be cut, and sealed batches dispatch
+    earliest-deadline-first — but are never enforced by shedding: a
+    request whose deadline already passed is still served and simply
+    reported as a miss (``InferenceResult.slo_met`` False,
+    aggregated into :attr:`LatencyStats.slo_attainment`). Requests
+    without an SLO never expire and degrade to FIFO order.
     """
 
     def __init__(self, *, n_workers=2, cache=True, max_batch=None,
@@ -218,11 +243,20 @@ class InferenceService:
         self._n_batches = 0
 
     def submit(self, request):
-        """Queue one request; returns its id."""
+        """Queue one :class:`~repro.serve.request.InferenceRequest`.
+
+        Requests must arrive in non-decreasing ``arrival_time`` order
+        (simulated seconds; equal times model a burst) — the queue
+        rejects out-of-order arrivals with
+        :class:`~repro.errors.ConfigError`. Returns the request id
+        (the caller's ``request_id``, or the assigned arrival sequence
+        number when None).
+        """
         return self.queue.submit(request)
 
     def submit_many(self, requests):
-        """Queue an iterable of requests; returns their ids."""
+        """Queue an iterable of requests (same contract as :meth:`submit`);
+        returns their ids in submission order."""
         return self.queue.submit_many(requests)
 
     def drain(self):

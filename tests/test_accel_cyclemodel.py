@@ -146,3 +146,76 @@ class TestRawHazardBound:
         # At default T=5 / 4 queues the bound never exceeds the max load.
         assert result.cycles_per_round[0] - ArchConfig(n_pes=32).drain_cycles \
             == pytest.approx(104, abs=6)
+
+
+class TestBatchedTuningDriver:
+    """The chunked tuning driver is bit-identical to the sequential loop.
+
+    ``batched_tuning=True`` (the default) speculates the switch-only
+    load trajectory and prices whole round batches in one Hall-bound
+    kernel call; ``False`` keeps the original one-bound-per-round loop
+    as the oracle. Every :class:`SpmmResult` field the model exposes
+    must agree between the two.
+    """
+
+    def _assert_identical(self, job, config):
+        batched = simulate_spmm(job, config, batched_tuning=True)
+        sequential = simulate_spmm(job, config, batched_tuning=False)
+        assert np.array_equal(
+            batched.cycles_per_round, sequential.cycles_per_round
+        )
+        assert batched.converged_round == sequential.converged_round
+        assert np.array_equal(batched.final_owner, sequential.final_owner)
+        assert batched.max_queue_backlog == sequential.max_queue_backlog
+        assert batched.final_backlog == sequential.final_backlog
+        assert batched.total_backlog == sequential.total_backlog
+        return batched
+
+    def test_identical_on_skewed_job(self, skewed_job):
+        config = ArchConfig(n_pes=16, hop=1, remote_switching=True)
+        result = self._assert_identical(skewed_job, config)
+        assert result.tuned
+
+    def test_identical_when_rounds_run_out_mid_tuning(self, rng):
+        # Patient tuner, few rounds: convergence never happens, so the
+        # chunk loop must consume exactly n_rounds and keep the final
+        # (still-mutating) owner map.
+        row_nnz = rng.integers(0, 12, size=96)
+        row_nnz[3] = 300
+        job = SpmmJob(name="short", row_nnz=row_nnz, n_rounds=3)
+        config = ArchConfig(
+            n_pes=12, hop=1, remote_switching=True,
+            convergence_patience=50,
+        )
+        result = self._assert_identical(job, config)
+        assert result.converged_round is None
+
+    def test_identical_across_random_configs(self, rng):
+        for _ in range(25):
+            n_rows = int(rng.integers(8, 200))
+            row_nnz = rng.integers(0, 25, size=n_rows)
+            if rng.random() < 0.5:
+                row_nnz[rng.integers(0, n_rows)] += int(
+                    rng.integers(50, 400)
+                )
+            job = SpmmJob(
+                name="rand", row_nnz=row_nnz,
+                n_rounds=int(rng.integers(1, 24)),
+            )
+            config = ArchConfig(
+                n_pes=int(rng.integers(2, 48)),
+                hop=int(rng.integers(0, 3)),
+                remote_switching=True,
+                convergence_patience=int(rng.integers(1, 5)),
+                switch_damping=float(rng.uniform(0.3, 1.0)),
+                tracking_window=int(rng.integers(1, 4)),
+                eq5_approximate=bool(rng.random() < 0.3),
+            )
+            self._assert_identical(job, config)
+
+    def test_static_maps_ignore_the_flag(self, skewed_job):
+        config = ArchConfig(n_pes=16, hop=1, remote_switching=False)
+        a = simulate_spmm(skewed_job, config, batched_tuning=True)
+        b = simulate_spmm(skewed_job, config, batched_tuning=False)
+        assert np.array_equal(a.cycles_per_round, b.cycles_per_round)
+        assert not a.tuned

@@ -10,10 +10,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.accel.localshare
 from repro.accel.localshare import (
+    _share_effective_loads_reference,
     share_effective_loads,
     share_makespan,
+    share_makespan_batch,
     share_window_bounds,
+    share_window_bounds_batch,
 )
 from repro.errors import ConfigError
 
@@ -144,3 +148,169 @@ def test_property_construction_achieves_bound(loads, hop):
 def test_property_monotone_in_hop(loads, hop):
     # More hops can never make the makespan worse.
     assert share_makespan(loads, hop + 1) <= share_makespan(loads, hop)
+
+
+class TestCapValidation:
+    """A caller-supplied cap must equal the Hall bound — no silent trust."""
+
+    def test_exact_cap_accepted(self):
+        loads = np.array([0, 0, 30, 0, 0, 7, 1])
+        cap = share_makespan(loads, 1)
+        expected = share_effective_loads(loads, 1)
+        assert np.array_equal(
+            share_effective_loads(loads, 1, cap=cap), expected
+        )
+
+    def test_float_cap_within_tolerance_accepted(self):
+        loads = np.array([0, 0, 30, 0, 0])
+        cap = share_makespan(loads, 1)
+        share_effective_loads(loads, 1, cap=cap + 5e-10)
+
+    @pytest.mark.parametrize("delta", [-1, 1, 7, 0.5])
+    def test_wrong_cap_raises(self, delta):
+        loads = np.array([4, 0, 30, 2, 0, 0, 9])
+        cap = share_makespan(loads, 2) + delta
+        with pytest.raises(ConfigError):
+            share_effective_loads(loads, 2, cap=cap)
+
+    def test_negative_and_non_numeric_cap_raise(self):
+        loads = np.array([1, 2, 3])
+        with pytest.raises(ConfigError):
+            share_effective_loads(loads, 1, cap=-1)
+        with pytest.raises(ConfigError):
+            share_effective_loads(loads, 1, cap="big")
+
+    def test_zero_cap_only_for_zero_loads(self):
+        assert np.array_equal(
+            share_effective_loads(np.zeros(4, dtype=int), 1, cap=0),
+            np.zeros(4),
+        )
+        with pytest.raises(ConfigError):
+            share_effective_loads(np.array([0, 1, 0]), 1, cap=0)
+
+
+class TestVectorizedAgainstReference:
+    """The NumPy sweep must reproduce the retired heap EDF exactly."""
+
+    def test_reference_is_heap_based(self, rng):
+        # Elementwise identity on a skewed instance, both cap modes.
+        loads = rng.integers(0, 50, size=40)
+        loads[7] += 1000
+        for hop in (0, 1, 3):
+            cap = share_makespan(loads, hop)
+            ref = _share_effective_loads_reference(loads, hop)
+            assert np.array_equal(share_effective_loads(loads, hop), ref)
+            assert np.array_equal(
+                share_effective_loads(loads, hop, cap=cap), ref
+            )
+
+    def test_infeasible_cap_fails_both(self):
+        loads = np.array([0, 0, 50, 0, 0])
+        bad = share_makespan(loads, 1) - 1
+        with pytest.raises(AssertionError):
+            _share_effective_loads_reference(loads, 1, cap=bad)
+        with pytest.raises(ConfigError):
+            share_effective_loads(loads, 1, cap=bad)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.lists(st.integers(0, 200), min_size=1, max_size=40),
+    st.integers(0, 5),
+    st.booleans(),
+)
+def test_property_vectorized_equals_reference(loads, hop, pass_cap):
+    """Elementwise equality + conservation + feasibility, random inputs.
+
+    Runs both with the Hall bound recomputed internally and with it
+    passed as ``cap`` (the cycle model's hot-path contract).
+    """
+    loads = np.asarray(loads)
+    cap = share_makespan(loads, hop)
+    reference = _share_effective_loads_reference(loads, hop)
+    effective = (
+        share_effective_loads(loads, hop, cap=cap)
+        if pass_cap else share_effective_loads(loads, hop)
+    )
+    assert np.array_equal(effective, reference)
+    assert effective.sum() == pytest.approx(float(loads.sum()))
+    assert effective.max() <= cap + 1e-9
+    assert effective.min() >= 0.0
+
+
+class TestBatchedKernel:
+    """share_makespan_batch rows must match the scalar entry point."""
+
+    def test_rows_match_scalar(self, rng):
+        for _ in range(20):
+            n_rounds = int(rng.integers(1, 8))
+            n = int(rng.integers(1, 40))
+            hop = int(rng.integers(0, 5))
+            matrix = rng.integers(0, 300, size=(n_rounds, n))
+            batch = share_makespan_batch(matrix, hop)
+            assert batch.dtype == np.int64
+            assert list(batch) == [
+                share_makespan(matrix[r], hop) for r in range(n_rounds)
+            ]
+
+    def test_efficiency_forwarded(self):
+        matrix = np.array([[0, 30, 0], [10, 10, 10]])
+        lossy = share_makespan_batch(matrix, 1, efficiency=0.5)
+        assert list(lossy) == [
+            share_makespan(matrix[0], 1, efficiency=0.5),
+            share_makespan(matrix[1], 1, efficiency=0.5),
+        ]
+
+    def test_empty_batch_allowed(self):
+        assert share_makespan_batch(np.zeros((0, 5), dtype=int), 1).size == 0
+
+    def test_zero_pes_rejected(self):
+        with pytest.raises(ConfigError):
+            share_makespan_batch(np.zeros((2, 0), dtype=int), 1)
+
+    def test_bad_hop_and_efficiency_rejected(self):
+        with pytest.raises(ConfigError):
+            share_makespan_batch(np.ones((1, 3), dtype=int), -1)
+        with pytest.raises(ConfigError):
+            share_makespan_batch(np.ones((1, 3), dtype=int), 1,
+                                 efficiency=0.0)
+
+    def test_window_bounds_batch_max_matches_brute(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(2, 20))
+            hop = int(rng.integers(1, 4))
+            matrix = rng.integers(0, 80, size=(3, n))
+            interior, prefix, suffix = share_window_bounds_batch(matrix, hop)
+            for r in range(3):
+                assert max(
+                    int(interior[r]), int(prefix[r]), int(suffix[r])
+                ) == brute_force_bound(matrix[r], hop)
+
+
+class TestWideArrayPath:
+    """The binary-search interior path (n past the dense limit)."""
+
+    @pytest.fixture(autouse=True)
+    def _force_wide_path(self, monkeypatch):
+        monkeypatch.setattr(
+            repro.accel.localshare, "_DENSE_WINDOW_LIMIT", 0
+        )
+
+    def test_makespan_matches_brute_force(self, rng):
+        for _ in range(40):
+            n = int(rng.integers(1, 28))
+            hop = int(rng.integers(0, 5))
+            loads = rng.integers(0, 100, size=n)
+            if rng.random() < 0.4:
+                loads[rng.integers(0, n)] += int(rng.integers(100, 900))
+            assert share_makespan(loads, hop) == brute_force_bound(loads, hop)
+
+    def test_transport_matches_reference(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 24))
+            hop = int(rng.integers(0, 4))
+            loads = rng.integers(0, 60, size=n)
+            assert np.array_equal(
+                share_effective_loads(loads, hop),
+                _share_effective_loads_reference(loads, hop),
+            )

@@ -162,3 +162,84 @@ def test_property_tuning_never_hurts_final_makespan(row_nnz, n_pes):
     tuned_span = share_makespan(tuned.loads, 0)
     assert tuned_span <= initial_span
     assert tuned.loads.sum() == row_nnz.sum()
+
+
+class TestSpeculation:
+    """speculate_loads / observe_rounds — the batched-driver surface."""
+
+    def _fresh(self, row_nnz, n_pes):
+        assignment = RowAssignment(row_nnz, n_pes)
+        tuner = RemoteAutoTuner(
+            assignment,
+            rows_per_pe_equal=max(len(row_nnz) / n_pes, 1.0),
+        )
+        return tuner, assignment
+
+    def test_speculation_is_pure(self, rng):
+        row_nnz = rng.integers(1, 9, size=64)
+        row_nnz[5] = 150
+        tuner, assignment = self._fresh(row_nnz, 8)
+        owner_before = assignment.snapshot()
+        loads_before = assignment.loads.copy()
+        matrix = tuner.speculate_loads(6)
+        assert matrix.shape[1] == 8
+        assert 1 <= matrix.shape[0] <= 6
+        assert np.array_equal(assignment.owner, owner_before)
+        assert np.array_equal(assignment.loads, loads_before)
+        assert tuner.round_index == 0 and not tuner.converged
+
+    def test_first_row_is_current_loads(self, rng):
+        row_nnz = rng.integers(1, 9, size=64)
+        tuner, assignment = self._fresh(row_nnz, 8)
+        matrix = tuner.speculate_loads(4)
+        assert np.array_equal(matrix[0], assignment.loads)
+
+    def test_trajectory_matches_real_observations(self, rng):
+        # Feeding the speculated rounds' true makespans through
+        # observe_round must walk the exact speculated load trajectory.
+        row_nnz = rng.integers(0, 10, size=96)
+        row_nnz[11] = 220
+        tuner, assignment = self._fresh(row_nnz, 12)
+        matrix = tuner.speculate_loads(5)
+        for k in range(matrix.shape[0]):
+            if tuner.converged:
+                break
+            assert np.array_equal(assignment.loads, matrix[k])
+            tuner.observe_round(share_makespan(assignment.loads, 0))
+
+    def test_observe_rounds_stops_at_freeze(self, rng):
+        row_nnz = rng.integers(1, 6, size=48)
+        row_nnz[0] = 100
+        tuner, assignment = self._fresh(row_nnz, 6)
+        # Constant makespans stall the tuner into its patience freeze
+        # (default patience 2) partway through the batch.
+        consumed = tuner.observe_rounds([50, 50, 50, 50, 50, 50])
+        assert tuner.converged
+        assert consumed == tuner.converged_round
+        assert consumed < 6
+        # Further batches are no-ops once frozen.
+        assert tuner.observe_rounds([40, 40]) == 0
+
+    def test_observe_rounds_matches_observe_round(self, rng):
+        row_nnz = rng.integers(0, 10, size=80)
+        row_nnz[7] = 180
+        batch_tuner, _ = self._fresh(row_nnz, 10)
+        loop_tuner, _ = self._fresh(row_nnz, 10)
+        makespans = [90, 70, 60, 60, 60, 55]
+        consumed = batch_tuner.observe_rounds(makespans)
+        for makespan in makespans[:consumed]:
+            loop_tuner.observe_round(makespan)
+        assert batch_tuner.makespan_history == loop_tuner.makespan_history
+        assert batch_tuner.gap_history == loop_tuner.gap_history
+        assert batch_tuner.converged == loop_tuner.converged
+        assert np.array_equal(
+            batch_tuner.assignment.snapshot(),
+            loop_tuner.assignment.snapshot(),
+        )
+
+    def test_speculation_empty_when_converged_or_no_budget(self, rng):
+        row_nnz = rng.integers(1, 5, size=32)
+        tuner, _ = self._fresh(row_nnz, 4)
+        assert tuner.speculate_loads(0).shape == (0, 4)
+        tuner.freeze_now()
+        assert tuner.speculate_loads(5).shape == (0, 4)

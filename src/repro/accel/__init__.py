@@ -52,6 +52,7 @@ from repro.accel.gcnaccel import (
     LayerTiming,
     build_spmm_jobs,
     jobs_for_layers,
+    slice_jobs,
 )
 from repro.accel.designs import (
     DESIGN_NAMES,
@@ -86,6 +87,7 @@ __all__ = [
     "LayerTiming",
     "build_spmm_jobs",
     "jobs_for_layers",
+    "slice_jobs",
     "DESIGN_NAMES",
     "design_config",
     "design_hops",

@@ -29,6 +29,7 @@ from repro.accel.cyclemodel import (
     simulate_spmm_frozen,
 )
 from repro.errors import ConfigError
+from repro.utils.validation import check_1d_int_array
 
 
 @dataclass(frozen=True)
@@ -251,6 +252,42 @@ def jobs_for_layers(a_row_nnz, layer_specs, *, a_hops=1):
     return layers
 
 
+def slice_jobs(layers, rows, *, suffix=""):
+    """Per-shard job lists: every stage's row profile restricted to ``rows``.
+
+    ``layers`` is a job-list structure as produced by
+    :func:`build_spmm_jobs` / :func:`jobs_for_layers`; ``rows`` the
+    (global) output-row indices one shard owns. Round counts and TDQ
+    types are preserved — a shard runs the same dense-operand columns,
+    it just owns fewer output rows. ``suffix`` tags the sliced job names
+    (e.g. ``"@chip3"``) for readable traces.
+
+    This is the per-shard entry point of :mod:`repro.cluster`: each chip
+    of a multi-chip run drives an ordinary single-chip simulation over
+    its sliced jobs.
+    """
+    rows = check_1d_int_array(rows, "rows")
+    if rows.size == 0:
+        raise ConfigError("a shard must own at least one row")
+    sliced = []
+    for stage_jobs in layers:
+        stage = []
+        for job in stage_jobs:
+            if rows.min() < 0 or rows.max() >= job.row_nnz.size:
+                raise ConfigError(
+                    f"shard rows out of range for job {job.name!r} "
+                    f"({job.row_nnz.size} rows)"
+                )
+            stage.append(SpmmJob(
+                name=job.name + suffix,
+                row_nnz=job.row_nnz[rows],
+                n_rounds=job.n_rounds,
+                tdq=job.tdq,
+            ))
+        sliced.append(stage)
+    return sliced
+
+
 class GcnAccelerator:
     """The accelerator model bound to one workload and configuration."""
 
@@ -270,6 +307,26 @@ class GcnAccelerator:
         # deriving from it makes repeat requests near-free; an explicit
         # x2 override changes the workload and forces the slow job hash.
         self._dataset_key = (dataset, a_hops) if x2_row_nnz is None else None
+
+    @classmethod
+    def for_shard(cls, dataset, config, rows, *, x2_row_nnz=None, a_hops=1,
+                  name=None):
+        """An accelerator simulating one shard of ``dataset``.
+
+        ``rows`` are the global node indices the shard owns; the
+        returned accelerator runs the standard 2-layer job structure
+        with every row profile sliced to the shard (via
+        :func:`slice_jobs`), so multi-chip models can drive it exactly
+        like a single-chip run — including the autotune-cache fast path
+        (the fingerprint hashes the sliced jobs, keying cache entries
+        per shard).
+        """
+        layers = build_spmm_jobs(dataset, x2_row_nnz=x2_row_nnz,
+                                 a_hops=a_hops)
+        if name is None:
+            base = getattr(dataset, "name", "custom")
+            name = f"{base}/shard{len(rows)}r"
+        return cls.from_jobs(slice_jobs(layers, rows), config, name=name)
 
     @classmethod
     def from_jobs(cls, jobs, config, *, name="custom"):

@@ -13,6 +13,7 @@ Usage::
     python -m repro serve-bench [--requests 96] [--graphs 4]
     python -m repro serve-bench --arrival-rate 400 --slo-ms 5
     python -m repro bench-rebalance [--pe-counts 64,256,1024,4096]
+    python -m repro shard-bench [--chips 1,2,4,8] [--nodes 8192]
     python -m repro summary           # dataset inventory
 
 Each command prints the rendered table; ``--out DIR`` additionally
@@ -130,6 +131,31 @@ def build_parser():
     rebalance.add_argument("--seed", type=int, default=7)
     rebalance.add_argument("--out", default=None, metavar="DIR",
                            help="also write rows as CSV under DIR")
+
+    shard = sub.add_parser(
+        "shard-bench",
+        help=("weak/strong scaling of sharded multi-chip execution: "
+              "static row/nnz partitions vs chip-level runtime "
+              "rebalancing on a hub-heavy RMAT graph"),
+    )
+    shard.add_argument("--chips", default="1,2,4,8",
+                       help="comma-separated chip counts "
+                            "(default: 1,2,4,8; 1 is always included)")
+    shard.add_argument("--nodes", type=int, default=8192,
+                       help="strong-scaling graph size (default: 8192)")
+    shard.add_argument("--weak-nodes-per-chip", type=int, default=2048,
+                       help="weak-scaling nodes per chip (default: 2048)")
+    shard.add_argument("--pes-per-chip", type=int, default=128,
+                       help="PE count of each chip (default: 128)")
+    shard.add_argument("--link-words", type=float, default=16.0,
+                       help="inter-chip link bandwidth in words/cycle "
+                            "(default: 16.0)")
+    shard.add_argument("--blocks-per-chip", type=int, default=8,
+                       help="row-block migration granularity "
+                            "(default: 8 blocks per chip)")
+    shard.add_argument("--seed", type=int, default=7)
+    shard.add_argument("--out", default=None, metavar="DIR",
+                       help="also write rows as CSV under DIR")
     return parser
 
 
@@ -199,6 +225,20 @@ def main(argv=None):
             seed=args.seed,
         )
         return _emit(args, "serve_bench", rows, text)
+
+    if args.command == "shard-bench":
+        from repro.analysis import compare_shard_scaling
+
+        rows, text = compare_shard_scaling(
+            chip_counts=_parse_pe_counts(args.chips),
+            n_nodes=args.nodes,
+            weak_nodes_per_chip=args.weak_nodes_per_chip,
+            pes_per_chip=args.pes_per_chip,
+            link_words_per_cycle=args.link_words,
+            blocks_per_chip=args.blocks_per_chip,
+            seed=args.seed,
+        )
+        return _emit(args, "shard_scaling", rows, text)
 
     if args.command == "bench-rebalance":
         from repro.analysis import compare_rebalance

@@ -1,0 +1,488 @@
+"""Multi-chip cycle model with chip-level runtime rebalancing.
+
+One chip is one AWB-GCN instance (an :class:`~repro.accel.ArchConfig`
+PE array simulated by :func:`~repro.accel.cyclemodel.simulate_spmm`);
+a *cluster* is ``n_chips`` of them connected by per-chip links of
+``link_words_per_cycle`` bandwidth, executing one graph under a
+:class:`~repro.cluster.partition.ShardPlan`.
+
+Composition model, per GCN layer:
+
+* every chip runs its sliced jobs (XW + aggregation hops) through the
+  ordinary single-chip pipeline (:class:`~repro.accel.GcnAccelerator`
+  over :func:`~repro.accel.gcnaccel.slice_jobs`), autotune cache and
+  all;
+* before aggregation it must receive its halo rows of the dense
+  intermediate — ``halo_rows x rounds x hops`` words over its ingress
+  link;
+* a layer ends at a barrier (the next layer's ``X W`` needs the full
+  previous output), so the layer costs the *slowest* chip's compute +
+  communication, plus a fixed ``barrier_cycles`` sync overhead.
+
+Chip-level rebalancing lifts the paper's mechanism one level up: the
+row blocks of the plan play the role of rows, chips play the role of
+PEs, and the per-chip observed load is the Eq. 5 utilization signal.
+One chip-level detail changes the migration *pattern*: arbitrary
+hotspot->coldspot block swaps (the literal remote-switching lift)
+scatter ownership, which both inflates the halo sets and concentrates
+a power-law graph's dense region on whichever chip received its
+blocks. The controller here therefore migrates *boundary* blocks
+between adjacent chips — diffusive rebalancing on the chip chain —
+with each neighbor pair exchanging up to half its load gap per round
+(exactly the intra-chip SLT's ``work_target = gap / 2`` selection
+rule, Sec. 4.2). Contiguity is preserved, halos stay small, and the
+dense region ends up *split across* consecutive chips instead of
+swapped around. Migrated blocks pay for their adjacency-structure
+transfer (``migration_words_per_nnz`` words per moved non-zero) over
+the link before execution starts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accel.config import ArchConfig
+from repro.accel.cyclemodel import SpmmJob, simulate_spmm
+from repro.accel.gcnaccel import GcnAccelerator, build_spmm_jobs, slice_jobs
+from repro.cluster.partition import ShardPlan, halo_exchange, make_plan
+from repro.errors import ConfigError
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything that defines a multi-chip deployment.
+
+    Parameters
+    ----------
+    n_chips:
+        Number of accelerator chips executing one sharded graph.
+    chip:
+        The per-chip :class:`~repro.accel.ArchConfig` (all chips are
+        identical — heterogeneous pools belong to the serving layer).
+    link_words_per_cycle:
+        Ingress bandwidth of each chip's inter-chip link in dense words
+        per chip cycle (8.0 ~ a 256-bit link at core clock).
+    barrier_cycles:
+        Fixed per-layer synchronization overhead, charged once per GCN
+        layer when ``n_chips > 1``.
+    strategy:
+        Initial partition strategy (``"rows"`` or ``"nnz"``, see
+        :func:`~repro.cluster.partition.make_plan`).
+    blocks_per_chip:
+        Migration granularity: initial row blocks per chip.
+    rebalance:
+        Enables the chip-level Eq. 5 block rebalancer.
+    max_rebalance_rounds:
+        Upper bound on rebalancing iterations (the controller usually
+        freezes earlier via its patience rule).
+    rebalance_patience:
+        Rounds without load-gap improvement before the block map
+        freezes (Eq. 5 patience, chip level).
+    migration_words_per_nnz:
+        Link words charged per migrated adjacency non-zero (index +
+        value = 2 words by default).
+    """
+
+    n_chips: int = 4
+    chip: ArchConfig = field(default_factory=ArchConfig)
+    link_words_per_cycle: float = 8.0
+    barrier_cycles: int = 64
+    strategy: str = "nnz"
+    blocks_per_chip: int = 8
+    rebalance: bool = True
+    max_rebalance_rounds: int = 16
+    rebalance_patience: int = 2
+    migration_words_per_nnz: int = 2
+
+    def __post_init__(self):
+        check_positive_int(self.n_chips, "n_chips")
+        if not isinstance(self.chip, ArchConfig):
+            raise ConfigError(
+                f"chip must be ArchConfig, got {type(self.chip).__name__}"
+            )
+        if self.link_words_per_cycle <= 0:
+            raise ConfigError(
+                "link_words_per_cycle must be > 0, got "
+                f"{self.link_words_per_cycle}"
+            )
+        if self.barrier_cycles < 0:
+            raise ConfigError(
+                f"barrier_cycles must be >= 0, got {self.barrier_cycles}"
+            )
+        check_positive_int(self.blocks_per_chip, "blocks_per_chip")
+        check_positive_int(self.max_rebalance_rounds, "max_rebalance_rounds")
+        check_positive_int(self.rebalance_patience, "rebalance_patience")
+        check_positive_int(
+            self.migration_words_per_nnz, "migration_words_per_nnz"
+        )
+
+    def comm_cycles(self, words):
+        """Cycles to move ``words`` dense words over one chip link."""
+        if words <= 0:
+            return 0
+        return int(math.ceil(words / self.link_words_per_cycle))
+
+
+@dataclass(frozen=True)
+class RebalanceInfo:
+    """What the chip-level Eq. 5 controller did to one plan."""
+
+    rounds: int
+    converged_round: object  # int | None
+    migrated_blocks: int
+    migrated_nnz: int
+    gap_history: tuple
+    """Per-round hotspot/coldspot load gap the controller observed."""
+
+    @property
+    def migrated(self):
+        """Whether any block changed chips."""
+        return self.migrated_blocks > 0
+
+
+def rebalance_plan(plan, row_nnz, cluster):
+    """Run the chip-level Eq. 5 controller; returns ``(plan, info)``.
+
+    Blocks play the role of rows, chips the role of PEs, and the
+    per-chip load (sum of owned blocks' nnz — what the chip-level PESM
+    counts in its task queues) is the utilization signal. Each round
+    sweeps the chip chain: every adjacent pair whose loads differ
+    shifts boundary blocks from the hotter to the colder side, taking
+    blocks greedily until the transferred weight would exceed half the
+    pair's gap — the intra-chip Shuffling-Lookup-Table rule
+    (``work_target = gap / 2``) applied to block migration. The sweep
+    repeats until the cluster-wide load gap stops improving for
+    ``rebalance_patience`` rounds (or ``max_rebalance_rounds``); like
+    the intra-chip tuner's freeze, the best map seen is restored.
+
+    Requires a contiguous plan (``owner`` sorted in runs, as both
+    :func:`~repro.cluster.partition.make_plan` strategies produce):
+    boundary diffusion is what keeps shards contiguous and halos small.
+    """
+    if not isinstance(plan, ShardPlan):
+        raise ConfigError(
+            f"plan must be ShardPlan, got {type(plan).__name__}"
+        )
+    weights = plan.block_weights(row_nnz)
+    if plan.n_chips == 1 or plan.n_blocks <= plan.n_chips:
+        return plan, RebalanceInfo(
+            rounds=0, converged_round=None, migrated_blocks=0,
+            migrated_nnz=0, gap_history=(),
+        )
+    if np.any(np.diff(plan.owner) < 0):
+        raise ConfigError(
+            "rebalance_plan requires a contiguous plan (owner sorted "
+            "in chip-id runs)"
+        )
+    n_chips = plan.n_chips
+    # bounds[c]..bounds[c+1] delimit chip c's contiguous block run.
+    counts = np.bincount(plan.owner, minlength=n_chips)
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+
+    def chip_loads(b):
+        return np.add.reduceat(weights, b[:-1])
+
+    loads = chip_loads(bounds)
+    gap_history = [int(loads.max() - loads.min())]
+    best_bounds = bounds.copy()
+    best_max = int(loads.max())
+    stall = 0
+    rounds = 0
+    converged_round = None
+    while rounds < cluster.max_rebalance_rounds:
+        moved_any = False
+        for left in range(n_chips - 1):
+            gap = float(
+                weights[bounds[left]:bounds[left + 1]].sum()
+                - weights[bounds[left + 1]:bounds[left + 2]].sum()
+            )
+            target = abs(gap) / 2.0
+            if gap > 0:
+                # Left chip hotter: shift its tail blocks rightward,
+                # stopping before the transfer would overshoot gap/2
+                # (and never emptying the giver).
+                shifted, acc = 0, 0.0
+                while bounds[left + 1] - 1 - shifted > bounds[left]:
+                    w = float(weights[bounds[left + 1] - 1 - shifted])
+                    if acc + w > target:
+                        break
+                    acc += w
+                    shifted += 1
+                if shifted:
+                    bounds[left + 1] -= shifted
+                    moved_any = True
+            elif gap < 0:
+                shifted, acc = 0, 0.0
+                while bounds[left + 1] + shifted < bounds[left + 2] - 1:
+                    w = float(weights[bounds[left + 1] + shifted])
+                    if acc + w > target:
+                        break
+                    acc += w
+                    shifted += 1
+                if shifted:
+                    bounds[left + 1] += shifted
+                    moved_any = True
+        loads = chip_loads(bounds)
+        gap_history.append(int(loads.max() - loads.min()))
+        rounds += 1
+        if int(loads.max()) < best_max:
+            best_max = int(loads.max())
+            best_bounds = bounds.copy()
+            stall = 0
+        else:
+            stall += 1
+            if stall >= cluster.rebalance_patience or not moved_any:
+                converged_round = rounds
+                break
+    new_owner = np.repeat(
+        np.arange(n_chips, dtype=np.int64), np.diff(best_bounds)
+    )
+    moved = new_owner != plan.owner
+    info = RebalanceInfo(
+        rounds=rounds,
+        converged_round=converged_round,
+        migrated_blocks=int(moved.sum()),
+        migrated_nnz=int(weights[moved].sum()),
+        gap_history=tuple(gap_history),
+    )
+    if not info.migrated:
+        return plan, info
+    return plan.with_owner(new_owner), info
+
+
+@dataclass(frozen=True)
+class ShardedSpmmResult:
+    """Timing outcome of one SpMM sharded across chips."""
+
+    chip_results: tuple
+    """Per-chip :class:`~repro.accel.cyclemodel.SpmmResult`."""
+    comm_cycles: np.ndarray
+    """Per-chip halo-transfer cycles for this SpMM."""
+    total_cycles: int
+    """Barrier-synchronized cost: max over chips of compute + comm."""
+
+    @property
+    def compute_cycles(self):
+        """Per-chip compute cycles (length ``n_chips``)."""
+        return np.asarray(
+            [r.total_cycles for r in self.chip_results], dtype=np.int64
+        )
+
+
+def simulate_sharded_spmm(job, cluster, plan, *, adjacency=None):
+    """Simulate one SpMM split row-wise across a cluster's chips.
+
+    Each chip runs :func:`~repro.accel.cyclemodel.simulate_spmm` on the
+    job restricted to its rows. ``adjacency`` (the sparse operand's
+    structure) derives the halo transfer each chip must receive —
+    ``halo_rows x n_rounds`` words; omit it for feature-side ``X W``
+    jobs, whose operand rows are chip-local (zero communication).
+    """
+    if not isinstance(job, SpmmJob):
+        raise ConfigError(f"job must be SpmmJob, got {type(job).__name__}")
+    if job.row_nnz.size != plan.n_rows:
+        raise ConfigError(
+            f"plan covers {plan.n_rows} rows but job has "
+            f"{job.row_nnz.size}"
+        )
+    halo_in = np.zeros(plan.n_chips, dtype=np.int64)
+    if adjacency is not None:
+        halo_in = halo_exchange(adjacency, plan).in_rows
+    chip_results = []
+    comm = np.zeros(plan.n_chips, dtype=np.int64)
+    for chip in range(plan.n_chips):
+        rows = plan.chip_rows(chip)
+        shard_job = SpmmJob(
+            name=f"{job.name}@chip{chip}",
+            row_nnz=job.row_nnz[rows],
+            n_rounds=job.n_rounds,
+            tdq=job.tdq,
+        )
+        chip_results.append(simulate_spmm(shard_job, cluster.chip))
+        comm[chip] = cluster.comm_cycles(
+            int(halo_in[chip]) * job.n_rounds
+        )
+    compute = np.asarray(
+        [r.total_cycles for r in chip_results], dtype=np.int64
+    )
+    return ShardedSpmmResult(
+        chip_results=tuple(chip_results),
+        comm_cycles=comm,
+        total_cycles=int((compute + comm).max()),
+    )
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """End-to-end outcome of one sharded multi-chip GCN inference."""
+
+    dataset: str
+    cluster: ClusterConfig
+    plan: ShardPlan
+    rebalance: RebalanceInfo
+    chip_reports: tuple
+    """Per-chip :class:`~repro.accel.AcceleratorReport` (sliced jobs)."""
+    layer_cycles: tuple
+    """Barrier-to-barrier cycles per GCN layer (slowest chip + sync)."""
+    comm_cycles_per_layer: np.ndarray
+    """Per-layer, per-chip halo-transfer cycles, shape
+    ``(n_layers, n_chips)``."""
+    migration_cycles: int
+    """One-time cost of shipping rebalanced blocks between chips."""
+    total_cycles: int
+
+    @property
+    def n_chips(self):
+        """Number of chips in the cluster."""
+        return self.cluster.n_chips
+
+    @property
+    def cache_hit(self):
+        """True when every chip replayed from the autotune cache."""
+        return all(r.cache_hit for r in self.chip_reports)
+
+    @property
+    def total_work(self):
+        """Total MAC tasks across all chips."""
+        return sum(r.total_work for r in self.chip_reports)
+
+    @property
+    def compute_cycles(self):
+        """Per-chip end-to-end compute cycles (length ``n_chips``)."""
+        return np.asarray(
+            [r.total_cycles for r in self.chip_reports], dtype=np.int64
+        )
+
+    @property
+    def comm_cycles(self):
+        """Total halo + migration cycles on the critical path."""
+        per_layer = self.comm_cycles_per_layer
+        critical = 0
+        for layer, cycles in enumerate(self.layer_cycles):
+            chip_compute = np.asarray([
+                r.layers[layer].pipelined_cycles for r in self.chip_reports
+            ])
+            slowest = int(np.argmax(chip_compute + per_layer[layer]))
+            critical += int(per_layer[layer][slowest])
+        return critical + self.migration_cycles
+
+    @property
+    def comm_fraction(self):
+        """Share of total cycles spent on inter-chip movement."""
+        return self.comm_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def utilization(self):
+        """Cluster-wide PE busy fraction over the synchronized runtime."""
+        denom = self.n_chips * self.cluster.chip.n_pes * self.total_cycles
+        return self.total_work / denom if denom else 0.0
+
+    @property
+    def compute_imbalance(self):
+        """Slowest chip's compute over the mean (1.0 = perfectly even)."""
+        compute = self.compute_cycles
+        mean = compute.mean()
+        return float(compute.max() / mean) if mean else 1.0
+
+    @property
+    def latency_ms(self):
+        """Inference latency in milliseconds at the chip clock."""
+        return self.cluster.chip.cycles_to_ms(self.total_cycles)
+
+
+def simulate_multichip_gcn(dataset, cluster, *, a_hops=1, cache=None,
+                           plan=None):
+    """Simulate a full sharded 2-layer GCN inference on a cluster.
+
+    Partitions ``dataset`` (or adopts a caller-supplied ``plan``),
+    optionally rebalances it at chip level, runs every chip's sliced
+    jobs through the single-chip pipeline, and composes layers with the
+    halo/barrier model. ``cache`` is an optional
+    :class:`~repro.serve.AutotuneCache` shared across chips — entries
+    are keyed per shard (each chip's sliced jobs hash to their own
+    fingerprint), so repeat sharded requests replay through the frozen
+    fast path chip by chip.
+    """
+    if not isinstance(cluster, ClusterConfig):
+        raise ConfigError(
+            f"cluster must be ClusterConfig, got {type(cluster).__name__}"
+        )
+    if hasattr(dataset, "adjacency_row_nnz"):
+        a_row_nnz = dataset.adjacency_row_nnz()
+    else:
+        a_row_nnz = dataset.adjacency.row_nnz()
+    if plan is None:
+        plan = make_plan(
+            a_row_nnz, cluster.n_chips, strategy=cluster.strategy,
+            blocks_per_chip=cluster.blocks_per_chip,
+        )
+    elif plan.n_rows != dataset.n_nodes or plan.n_chips != cluster.n_chips:
+        raise ConfigError(
+            f"plan ({plan!r}) does not match dataset "
+            f"({dataset.n_nodes} nodes) / cluster ({cluster.n_chips} chips)"
+        )
+
+    migration_cycles = 0
+    if cluster.rebalance:
+        plan, info = rebalance_plan(plan, a_row_nnz, cluster)
+        migration_cycles = cluster.comm_cycles(
+            info.migrated_nnz * cluster.migration_words_per_nnz
+        )
+    else:
+        info = RebalanceInfo(
+            rounds=0, converged_round=None, migrated_blocks=0,
+            migrated_nnz=0, gap_history=(),
+        )
+
+    halo = (
+        halo_exchange(dataset.adjacency, plan)
+        if cluster.n_chips > 1
+        else None
+    )
+    layers = build_spmm_jobs(dataset, a_hops=a_hops)
+    name = getattr(dataset, "name", "custom")
+    chip_reports = []
+    for chip in range(cluster.n_chips):
+        rows = plan.chip_rows(chip)
+        accel = GcnAccelerator.from_jobs(
+            slice_jobs(layers, rows, suffix=f"@{name}/chip{chip}"),
+            cluster.chip,
+            name=f"{name}/chip{chip}",
+        )
+        chip_reports.append(accel.run(cache=cache))
+
+    n_layers = len(layers)
+    comm = np.zeros((n_layers, cluster.n_chips), dtype=np.int64)
+    layer_cycles = []
+    total = migration_cycles
+    for layer in range(n_layers):
+        rounds = layers[layer][0].n_rounds
+        if halo is not None:
+            for chip in range(cluster.n_chips):
+                comm[layer, chip] = cluster.comm_cycles(
+                    int(halo.in_rows[chip]) * rounds * a_hops
+                )
+        chip_compute = np.asarray([
+            r.layers[layer].pipelined_cycles for r in chip_reports
+        ], dtype=np.int64)
+        cost = int((chip_compute + comm[layer]).max())
+        if cluster.n_chips > 1:
+            cost += cluster.barrier_cycles
+        layer_cycles.append(cost)
+        total += cost
+
+    return ClusterReport(
+        dataset=name,
+        cluster=cluster,
+        plan=plan,
+        rebalance=info,
+        chip_reports=tuple(chip_reports),
+        layer_cycles=tuple(layer_cycles),
+        comm_cycles_per_layer=comm,
+        migration_cycles=int(migration_cycles),
+        total_cycles=int(total),
+    )

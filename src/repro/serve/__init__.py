@@ -18,7 +18,13 @@ time with latency SLOs. This package adds that layer:
 * :mod:`repro.serve.service`   — the :class:`InferenceService`: an
   event-driven simulated-clock loop over a pool of simulated
   accelerator instances, with latency percentile / SLO-attainment
-  accounting (:class:`LatencyStats`);
+  accounting (:class:`LatencyStats`), optional admission control
+  (``shed_expired`` rejects requests whose deadline expired, reported
+  via ``ServiceStats.shed_rate``), reconfiguration pricing
+  (``reconfig_cycles`` charged when an instance switches configs
+  between batches), and sharded dispatch (``chip_capacity`` plans
+  oversized graphs as :mod:`repro.cluster` multi-chip jobs
+  gang-scheduled across the pool);
 * :mod:`repro.serve.traffic`   — fixed-seed RMAT request mixes and
   Poisson/bursty arrival processes for the serving benchmarks
   (``repro serve-bench``, ``benchmarks/bench_serve_*.py``).

@@ -64,9 +64,10 @@ class AutotuneCache:
     hit and :meth:`store` refreshes the key's recency, and an insert
     that would exceed the bound evicts the least-recently-used entries
     first (counted in :attr:`stats`). None keeps the historical
-    unbounded behavior. Recency is an in-process property: a
-    :meth:`save`/:meth:`load` round-trip restores entries in a
-    deterministic sorted order, not the live recency order.
+    unbounded behavior. Recency survives persistence: :meth:`save`
+    archives entries in LRU order (least recent first) and
+    :meth:`load` restores them in that order, so cross-process cache
+    sharing keeps evicting in true recency order.
     """
 
     def __init__(self, *, max_entries=None):
@@ -161,9 +162,13 @@ class AutotuneCache:
         """Write every entry to ``path`` as a single ``.npz`` archive.
 
         Owner maps go in as arrays; fingerprints, configs, warm-up traces
-        and convergence rounds ride in an embedded JSON index. Returns
-        the path actually written (numpy appends ``.npz`` when the given
-        path has no suffix, and so does this return value).
+        and convergence rounds ride in an embedded JSON index. Entries
+        are archived in the live LRU order (least recently used first),
+        so a :meth:`load` restores not just the contents but the
+        eviction order — a warm restart evicts exactly what the saved
+        process would have evicted next. Returns the path actually
+        written (numpy appends ``.npz`` when the given path has no
+        suffix, and so does this return value).
         """
         path = str(path)
         if not path.endswith(".npz"):
@@ -171,7 +176,7 @@ class AutotuneCache:
         index = []
         arrays = {}
         for slot, ((fingerprint, config), entry) in enumerate(
-            sorted(self._entries.items(), key=lambda item: repr(item[0]))
+            self._entries.items()
         ):
             stages_meta = []
             flat = 0
@@ -193,7 +198,7 @@ class AutotuneCache:
                 "layers": stages_meta,
             })
         arrays["index"] = np.frombuffer(
-            json.dumps({"version": 1, "entries": index}).encode(),
+            json.dumps({"version": 2, "entries": index}).encode(),
             dtype=np.uint8,
         )
         np.savez_compressed(path, **arrays)
@@ -203,14 +208,18 @@ class AutotuneCache:
     def load(cls, path, *, max_entries=None):
         """Rebuild a cache from a :meth:`save` archive.
 
-        ``max_entries`` applies the LRU bound to the restored cache;
-        archives holding more entries than the bound keep the last
-        ``max_entries`` in the archive's deterministic sort order.
+        Entries are restored in archive order, which for version-2
+        archives is the saved process's LRU order — recency carries
+        across processes. ``max_entries`` applies the LRU bound to the
+        restored cache; archives holding more entries than the bound
+        keep the ``max_entries`` *most recently used* ones. Version-1
+        archives (sorted by key, no recency) still load, in their
+        deterministic sort order.
         """
         cache = cls(max_entries=max_entries)
         with np.load(path) as archive:
             index = json.loads(bytes(archive["index"]).decode())
-            if index.get("version") != 1:
+            if index.get("version") not in (1, 2):
                 raise ConfigError(
                     f"unsupported cache archive version {index.get('version')}"
                 )

@@ -107,6 +107,19 @@ class InferenceRequest:
             return build()
         return self.graph
 
+    def graph_nodes(self):
+        """Node count of the request's graph.
+
+        Cheap for specs and datasets (both expose ``n_nodes``); only a
+        graph object without that attribute forces a build. The service
+        uses this to decide whether a request exceeds the per-chip
+        capacity and must be planned as a sharded job.
+        """
+        nodes = getattr(self.graph, "n_nodes", None)
+        if nodes is None:
+            nodes = self.resolve_graph().n_nodes
+        return int(nodes)
+
 
 @dataclass(frozen=True)
 class InferenceResult:
@@ -138,6 +151,15 @@ class InferenceResult:
     """Simulated-clock second the result was ready."""
     slo_ms: float = None
     """The request's latency SLO in ms (None when it carried none)."""
+    shed: bool = False
+    """True when admission control rejected the request instead of
+    serving it (its deadline had already expired at batch-cut time);
+    cycle/latency fields are zero and ``finish_time`` records the shed
+    instant."""
+    n_shards: int = 1
+    """How many accelerator instances executed this request (1 for the
+    normal single-chip path; >1 when the graph exceeded the service's
+    per-chip capacity and ran as a sharded multi-chip job)."""
 
     @property
     def modeled_seconds(self):

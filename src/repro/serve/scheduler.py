@@ -239,24 +239,37 @@ class StreamingScheduler:
     max_wait:
         Timeout cut threshold in *simulated seconds* measured from the
         oldest member's arrival (None = no timeout cuts).
+    shed_expired:
+        Admission control: when True, a member whose deadline has
+        already expired at the instant its batch is cut is *shed* —
+        removed from the batch and recorded in :attr:`shed_log` (the
+        service turns the log into rejected
+        :class:`~repro.serve.request.InferenceResult` outcomes) instead
+        of being served hopelessly late. Default False preserves the
+        historical serve-late behavior bit-for-bit.
 
     All times this class consumes and produces — :meth:`cut_due` /
     :meth:`next_cut_time` instants, deadlines, :meth:`observe` service
     estimates — are simulated seconds on the serving loop's clock,
     never wall-clock. An SLO enters as the member's absolute deadline
     ``arrival_time + slo_ms / 1e3`` and influences *when* its batch is
-    cut and *which* ready batch dispatches first; expired deadlines are
-    not shed here (the service reports them as SLO misses).
+    cut and *which* ready batch dispatches first; without
+    ``shed_expired`` an expired deadline is still served (the service
+    reports it as an SLO miss).
     """
 
-    def __init__(self, *, max_batch=None, max_wait=None):
+    def __init__(self, *, max_batch=None, max_wait=None, shed_expired=False):
         self.max_batch = _check_max_batch(max_batch)
         self.max_wait = _check_max_wait(max_wait)
+        self.shed_expired = bool(shed_expired)
         self._groups = {}
         self._order = []
         self._estimates = {}
         self._ready = []
         self._n_dispatched = 0
+        self.shed_log = []
+        """``(QueuedRequest, shed_time)`` pairs of rejected members, in
+        shed order; the service drains it via :meth:`take_shed`."""
 
     @property
     def pending(self):
@@ -268,10 +281,12 @@ class StreamingScheduler:
         """Number of cut batches awaiting dispatch."""
         return len(self._ready)
 
-    def admit(self, item):
+    def admit(self, item, *, now=None):
         """Accept one queued request into its config group.
 
-        Seals the group immediately when it reaches ``max_batch``.
+        Seals the group immediately when it reaches ``max_batch``;
+        ``now`` (defaulting to the item's arrival instant) is the
+        batch-cut time a size cut is stamped with for shedding.
         """
         if not isinstance(item, QueuedRequest):
             raise ConfigError(
@@ -285,7 +300,7 @@ class StreamingScheduler:
                 self._order.append(key)
         group.append(item)
         if self.max_batch is not None and len(group) >= self.max_batch:
-            self._cut(key)
+            self._cut(key, item.arrival_time if now is None else now)
 
     def observe(self, config, a_hops, seconds):
         """Feed back one served request's modeled service time.
@@ -332,20 +347,44 @@ class StreamingScheduler:
         cut = 0
         for key in self._order:
             if self._groups.get(key) and self._cut_time(key) <= now:
-                self._cut(key)
+                self._cut(key, now)
                 cut += 1
         return cut
 
-    def flush(self):
-        """Seal every live group (the arrival stream has ended)."""
+    def flush(self, *, now=0.0):
+        """Seal every live group (the arrival stream has ended).
+
+        ``now`` is the simulated instant of the flush — the batch-cut
+        time stamped on any members shed here.
+        """
         for key in self._order:
             if self._groups.get(key):
-                self._cut(key)
+                self._cut(key, now)
 
-    def _cut(self, key):
-        """Seal one group into the EDF-ordered ready queue."""
+    def take_shed(self):
+        """Drain and return the accumulated shed log."""
+        shed, self.shed_log = self.shed_log, []
+        return shed
+
+    def _cut(self, key, now):
+        """Seal one group into the EDF-ordered ready queue.
+
+        With ``shed_expired``, members whose deadline lies strictly
+        before ``now`` are logged as shed instead of sealed; a group
+        whose members all expired produces no batch.
+        """
         items = self._groups[key]
         self._groups[key] = []
+        if self.shed_expired:
+            live = []
+            for item in items:
+                if item.deadline < now:
+                    self.shed_log.append((item, now))
+                else:
+                    live.append(item)
+            items = live
+            if not items:
+                return
         deadline = min(item.deadline for item in items)
         heapq.heappush(
             self._ready, (deadline, items[0].seq, key, tuple(items))

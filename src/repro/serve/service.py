@@ -41,6 +41,7 @@ import time
 from dataclasses import dataclass
 
 from repro.accel.gcnaccel import GcnAccelerator
+from repro.cluster.multichip import ClusterConfig, simulate_multichip_gcn
 from repro.errors import ConfigError
 from repro.serve.cache import AutotuneCache
 from repro.serve.request import InferenceResult
@@ -50,7 +51,7 @@ from repro.serve.scheduler import (
     _check_max_batch,
     _check_max_wait,
 )
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_non_negative_int, check_positive_int
 
 
 @dataclass
@@ -66,6 +67,12 @@ class WorkerState:
     """Simulated second the instance finishes its current batch."""
     modeled_busy_seconds: float = 0.0
     """Simulated seconds of modeled hardware time spent serving."""
+    last_key: object = None
+    """The (config, a_hops) pair the instance is currently configured
+    for (None until its first batch)."""
+    reconfigs: int = 0
+    """How many times the instance switched configurations between
+    batches (each charged ``reconfig_cycles`` when that is non-zero)."""
 
 
 def percentile(values, q):
@@ -115,7 +122,13 @@ class LatencyStats:
 
     @classmethod
     def from_results(cls, results):
-        """Fold per-request results into latency statistics."""
+        """Fold per-request results into latency statistics.
+
+        Shed requests are excluded — they were never served, so they
+        have no latency; the shed rate lives in
+        :attr:`ServiceStats.shed_rate`.
+        """
+        results = [r for r in results if not r.shed]
         latencies = [r.e2e_ms for r in results]
         queues = [r.queue_ms for r in results]
         with_slo = [r for r in results if r.slo_ms is not None]
@@ -145,6 +158,16 @@ class ServiceStats:
     mean_utilization: float
     makespan_seconds: float = 0.0
     """Simulated seconds from clock zero to the last request's finish."""
+    n_shed: int = 0
+    """Requests rejected by admission control (``shed_expired``);
+    counted inside ``n_requests``."""
+    n_sharded: int = 0
+    """Requests served as multi-chip sharded jobs (``chip_capacity``)."""
+
+    @property
+    def shed_rate(self):
+        """Fraction of admitted requests shed instead of served."""
+        return self.n_shed / self.n_requests if self.n_requests else 0.0
 
     @property
     def hit_rate(self):
@@ -198,6 +221,36 @@ class InferenceService:
         keeps SLO-less streaming traffic from queueing indefinitely.
         None disables it (batches then cut on size, deadline slack or
         end of stream only).
+    shed_expired:
+        Admission control: shed (reject, with a recorded outcome)
+        requests whose deadline has already expired at batch-cut time —
+        or by the time their sealed batch reaches an instance, the
+        point where queueing under load actually expires deadlines —
+        instead of serving them hopelessly late. Shed requests come
+        back with ``InferenceResult.shed`` True and zeroed cycle
+        fields; the shed rate is reported in
+        :attr:`ServiceStats.shed_rate`. Default False keeps the
+        historical serve-late behavior bit-for-bit.
+    reconfig_cycles:
+        Cycle penalty charged when an instance switches its
+        ``(config, a_hops)`` between consecutive batches (converted to
+        simulated seconds at the incoming config's clock and added
+        before service starts). Default 0 models free switching — the
+        historical behavior, which flatters small batches.
+    chip_capacity:
+        Per-instance node-count capacity. A request whose graph
+        exceeds it is planned as a *sharded job*: the graph is
+        partitioned across ``ceil(n_nodes / chip_capacity)`` instances
+        (clamped to the pool size) and executed through the
+        :mod:`repro.cluster` multi-chip model, occupying all
+        participating instances for the sharded duration; the shared
+        ``AutotuneCache`` is keyed per shard. None (default) disables
+        sharding — oversized graphs run single-instance as before.
+    cluster_options:
+        Optional dict of :class:`~repro.cluster.ClusterConfig`
+        overrides for sharded jobs (e.g. ``link_words_per_cycle``,
+        ``strategy``); ``n_chips`` and ``chip`` are always derived from
+        the job itself.
 
     Units
     -----
@@ -218,15 +271,19 @@ class InferenceService:
     ``arrival_time + slo_ms / 1e3`` (simulated seconds). Deadlines
     steer scheduling twice — the tightest member deadline decides when
     a pending batch must be cut, and sealed batches dispatch
-    earliest-deadline-first — but are never enforced by shedding: a
-    request whose deadline already passed is still served and simply
-    reported as a miss (``InferenceResult.slo_met`` False,
-    aggregated into :attr:`LatencyStats.slo_attainment`). Requests
-    without an SLO never expire and degrade to FIFO order.
+    earliest-deadline-first — and, by default, are never enforced by
+    shedding: a request whose deadline already passed is still served
+    and simply reported as a miss (``InferenceResult.slo_met`` False,
+    aggregated into :attr:`LatencyStats.slo_attainment`). With
+    ``shed_expired`` the front door sheds such requests at batch-cut
+    time instead (recorded outcome, counted in
+    :attr:`ServiceStats.shed_rate`). Requests without an SLO never
+    expire and degrade to FIFO order.
     """
 
     def __init__(self, *, n_workers=2, cache=True, max_batch=None,
-                 max_wait=None):
+                 max_wait=None, shed_expired=False, reconfig_cycles=0,
+                 chip_capacity=None, cluster_options=None):
         check_positive_int(n_workers, "n_workers")
         if cache is True:
             cache = AutotuneCache()
@@ -239,6 +296,20 @@ class InferenceService:
         self.queue = RequestQueue()
         self.max_batch = _check_max_batch(max_batch)
         self.max_wait = _check_max_wait(max_wait)
+        self.shed_expired = bool(shed_expired)
+        self.reconfig_cycles = check_non_negative_int(
+            reconfig_cycles, "reconfig_cycles"
+        )
+        if chip_capacity is not None:
+            chip_capacity = check_positive_int(chip_capacity, "chip_capacity")
+        self.chip_capacity = chip_capacity
+        self.cluster_options = dict(cluster_options or {})
+        for reserved in ("n_chips", "chip"):
+            if reserved in self.cluster_options:
+                raise ConfigError(
+                    f"cluster_options may not override {reserved!r} "
+                    "(derived per sharded job)"
+                )
         self.workers = [WorkerState(index=i) for i in range(n_workers)]
         self._n_batches = 0
 
@@ -281,25 +352,50 @@ class InferenceService:
         cap = self.max_batch
         if cap is None and len(self.workers) > 1:
             cap = -(-len(queued) // len(self.workers)) or None
-        stream = StreamingScheduler(max_batch=cap, max_wait=self.max_wait)
+        stream = StreamingScheduler(max_batch=cap, max_wait=self.max_wait,
+                                    shed_expired=self.shed_expired)
 
         results = []
+        sharded = []  # FIFO of oversized requests awaiting enough chips
         clock = 0.0
         i, n = 0, len(queued)
         batches_before = self._n_batches
         started = time.perf_counter()
-        while i < n or stream.pending or stream.ready:
+        while i < n or stream.pending or stream.ready or sharded:
             # Admit everything that has arrived by now. Size cuts
-            # happen inside admit(), in arrival order.
+            # happen inside admit(), in arrival order; graphs over the
+            # per-chip capacity divert to the sharded-job queue.
             while i < n and queued[i].arrival_time <= clock:
-                stream.admit(queued[i])
+                item = queued[i]
+                if self._needs_sharding(item.request):
+                    sharded.append(item)
+                else:
+                    stream.admit(item, now=clock)
                 i += 1
             # Seal groups whose deadline slack (or batch timeout) is up.
             stream.cut_due(clock)
             # The arrival stream has ended: nothing more can join a
             # group, so seal the remainder.
             if i >= n:
-                stream.flush()
+                stream.flush(now=clock)
+            # Record anything admission control shed at the cuts above.
+            for item, when in stream.take_shed():
+                results.append((item.seq, self._shed_result(item, when)))
+            # Sharded jobs dispatch first (FIFO) whenever enough
+            # instances are simultaneously idle; they gang-schedule the
+            # lowest-indexed free instances.
+            while sharded:
+                head = sharded[0]
+                if self.shed_expired and head.deadline < clock:
+                    sharded.pop(0)
+                    results.append((head.seq, self._shed_result(head, clock)))
+                    continue
+                free = [w for w in self.workers if w.free_at <= clock]
+                needed = self._shard_count(head.request)
+                if len(free) < needed:
+                    break
+                sharded.pop(0)
+                self._serve_sharded(head, free[:needed], clock, results)
             # Hand sealed batches, tightest deadline first, to free
             # instances (lowest index when several are free).
             while stream.ready:
@@ -309,7 +405,8 @@ class InferenceService:
                 self._serve_batch(stream.pop_ready(), worker, clock,
                                   stream, results)
             # Advance the clock to the next event: an arrival, a
-            # deadline-forced cut, or an instance freeing up.
+            # deadline-forced cut, an instance freeing up, or enough
+            # instances freeing up for the head sharded job.
             horizon = []
             if i < n:
                 horizon.append(queued[i].arrival_time)
@@ -317,6 +414,10 @@ class InferenceService:
                 horizon.append(stream.next_cut_time())
             if stream.ready:
                 horizon.append(min(w.free_at for w in self.workers))
+            if sharded:
+                needed = self._shard_count(sharded[0].request)
+                frees = sorted(w.free_at for w in self.workers)
+                horizon.append(frees[needed - 1])
             if not horizon:
                 break
             clock = max(clock, min(horizon))
@@ -339,12 +440,133 @@ class InferenceService:
                 return worker
         return None
 
+    def _needs_sharding(self, request):
+        """Whether a request's graph exceeds the per-chip capacity."""
+        return (
+            self.chip_capacity is not None
+            and request.graph_nodes() > self.chip_capacity
+        )
+
+    def _shard_count(self, request):
+        """Instances a sharded request gang-schedules (pool-clamped)."""
+        needed = -(-request.graph_nodes() // self.chip_capacity)
+        return max(1, min(needed, len(self.workers)))
+
+    def _shed_result(self, item, when):
+        """The recorded outcome of a request shed at simulated ``when``."""
+        request = item.request
+        return InferenceResult(
+            request_id=request.request_id,
+            dataset=getattr(request.graph, "name", "custom"),
+            fingerprint="",
+            total_cycles=0,
+            latency_ms=0.0,
+            utilization=0.0,
+            cache_hit=False,
+            worker=-1,
+            batch=-1,
+            sim_seconds=0.0,
+            arrival_time=request.arrival_time,
+            start_time=when,
+            finish_time=when,
+            slo_ms=request.slo_ms,
+            shed=True,
+        )
+
+    def _reconfigure(self, worker, key, config, start):
+        """Track a config switch; returns ``start`` plus any penalty."""
+        if worker.last_key is not None and worker.last_key != key:
+            worker.reconfigs += 1
+            if self.reconfig_cycles:
+                start += config.cycles_to_seconds(self.reconfig_cycles)
+        worker.last_key = key
+        return start
+
+    def _serve_sharded(self, item, workers, clock, results):
+        """Run one oversized request as a multi-chip job on ``workers``.
+
+        All participating instances gang-schedule: service starts once
+        every one of them is reconfigured (the slowest switch gates the
+        start) and they stay busy until the synchronized sharded run
+        finishes. The shared autotune cache is passed down, so each
+        shard's tuning state is cached independently.
+        """
+        from repro.datasets.registry import dataset_fingerprint
+
+        request = item.request
+        key = (request.config, request.a_hops)
+        start = max(
+            self._reconfigure(worker, key, request.config, clock)
+            for worker in workers
+        )
+        dataset = request.resolve_graph()
+        wall_started = time.perf_counter()
+        cluster = ClusterConfig(
+            n_chips=len(workers), chip=request.config,
+            **self.cluster_options,
+        )
+        report = simulate_multichip_gcn(
+            dataset, cluster, a_hops=request.a_hops, cache=self.cache
+        )
+        elapsed = time.perf_counter() - wall_started
+        service_seconds = request.config.cycles_to_seconds(
+            report.total_cycles
+        )
+        finish = start + service_seconds
+        primary = workers[0]
+        primary.requests_served += 1
+        primary.busy_seconds += elapsed
+        for worker in workers:
+            worker.free_at = finish
+            worker.modeled_busy_seconds += finish - clock
+            worker.batches_served += 1
+        self._n_batches += 1
+        results.append((item.seq, InferenceResult(
+            request_id=request.request_id,
+            dataset=getattr(dataset, "name", "custom"),
+            fingerprint=f"{dataset_fingerprint(dataset)}@{len(workers)}chips",
+            total_cycles=report.total_cycles,
+            latency_ms=report.latency_ms,
+            utilization=report.utilization,
+            cache_hit=report.cache_hit,
+            worker=primary.index,
+            batch=-1,
+            sim_seconds=elapsed,
+            arrival_time=request.arrival_time,
+            start_time=start,
+            finish_time=finish,
+            slo_ms=request.slo_ms,
+            n_shards=len(workers),
+        )))
+
     def _serve_batch(self, batch, worker, clock, stream, results):
-        """Run one sealed batch back-to-back on one instance."""
-        start = max(clock, worker.free_at)
+        """Run one sealed batch back-to-back on one instance.
+
+        With ``shed_expired``, members whose deadline passed while the
+        sealed batch queued for an instance are shed at service start —
+        the second admission-control point, complementing the
+        batch-cut-time check inside the scheduler. An entirely expired
+        batch releases the instance untouched (no reconfiguration is
+        charged, no batch is counted).
+        """
+        base_start = max(clock, worker.free_at)
+        items = batch.items
+        if self.shed_expired:
+            live = []
+            for item in items:
+                if item.deadline < base_start:
+                    results.append((item.seq,
+                                    self._shed_result(item, base_start)))
+                else:
+                    live.append(item)
+            items = tuple(live)
+            if not items:
+                return
+        key = (batch.config, items[0].request.a_hops)
+        start = self._reconfigure(worker, key, batch.config, base_start)
         now = start
         wall_started = time.perf_counter()
-        for item in batch.items:
+        for item in items:
             result = self._serve_one(item, batch, worker, now)
             now = result.finish_time
             stream.observe(item.request.config, item.request.a_hops,
@@ -388,29 +610,41 @@ class InferenceService:
         )
 
     def _stats(self, results, n_batches, wall):
-        """Fold per-request results into :class:`ServiceStats`."""
-        hits = sum(1 for r in results if r.cache_hit)
-        utils = [r.utilization for r in results]
+        """Fold per-request results into :class:`ServiceStats`.
+
+        Cache, cycle and utilization aggregates cover *served* requests
+        only — a shed request never reached an instance.
+        """
+        served = [r for r in results if not r.shed]
+        n_shed = len(results) - len(served)
+        n_sharded = sum(1 for r in served if r.n_shards > 1)
+        hits = sum(1 for r in served if r.cache_hit)
+        utils = [r.utilization for r in served]
         return ServiceStats(
             n_requests=len(results),
             n_batches=n_batches,
             cache_hits=hits,
-            cache_misses=len(results) - hits,
+            cache_misses=len(served) - hits,
             wall_seconds=wall,
-            total_cycles=sum(r.total_cycles for r in results),
+            total_cycles=sum(r.total_cycles for r in served),
             mean_utilization=sum(utils) / len(utils) if utils else 0.0,
             makespan_seconds=max(
-                (r.finish_time for r in results), default=0.0
+                (r.finish_time for r in served), default=0.0
             ),
+            n_shed=n_shed,
+            n_sharded=n_sharded,
         )
 
 
 def serve_requests(requests, *, n_workers=2, cache=True, max_batch=None,
-                   max_wait=None):
+                   max_wait=None, shed_expired=False, reconfig_cycles=0,
+                   chip_capacity=None, cluster_options=None):
     """One-shot convenience: submit ``requests``, drain, return outcome."""
     service = InferenceService(
         n_workers=n_workers, cache=cache, max_batch=max_batch,
-        max_wait=max_wait,
+        max_wait=max_wait, shed_expired=shed_expired,
+        reconfig_cycles=reconfig_cycles, chip_capacity=chip_capacity,
+        cluster_options=cluster_options,
     )
     service.submit_many(requests)
     return service.drain()

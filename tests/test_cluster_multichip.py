@@ -1,0 +1,245 @@
+"""Tests for the multi-chip cycle model and chip-level rebalancer."""
+
+import numpy as np
+import pytest
+
+from repro.accel import ArchConfig, GcnAccelerator, SpmmJob, slice_jobs
+from repro.accel.gcnaccel import build_spmm_jobs
+from repro.analysis import compare_shard_scaling
+from repro.cluster import (
+    ClusterConfig,
+    make_plan,
+    rebalance_plan,
+    simulate_multichip_gcn,
+    simulate_sharded_spmm,
+)
+from repro.errors import ConfigError
+from repro.serve import AutotuneCache, RmatGraphSpec
+
+CHIP = ArchConfig(n_pes=32, hop=1, remote_switching=True)
+SPEC = RmatGraphSpec(
+    n_nodes=1024, avg_degree=10, f1=24, f2=16, f3=4, seed=77,
+    abcd=(0.6, 0.15, 0.15, 0.1),
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SPEC.build()
+
+
+class TestSliceJobs:
+    def test_slices_cover_the_workload(self, dataset):
+        layers = build_spmm_jobs(dataset)
+        plan = make_plan(dataset.adjacency_row_nnz(), 3)
+        total = 0
+        for chip in range(3):
+            sliced = slice_jobs(layers, plan.chip_rows(chip))
+            total += sum(
+                job.total_work for stage in sliced for job in stage
+            )
+        full = sum(job.total_work for stage in layers for job in stage)
+        assert total == full
+
+    def test_preserves_rounds_and_tdq(self, dataset):
+        layers = build_spmm_jobs(dataset)
+        sliced = slice_jobs(layers, np.arange(10), suffix="@s")
+        for stage_full, stage_sliced in zip(layers, sliced):
+            for job, sub in zip(stage_full, stage_sliced):
+                assert sub.n_rounds == job.n_rounds
+                assert sub.tdq == job.tdq
+                assert sub.name == job.name + "@s"
+                assert sub.row_nnz.size == 10
+
+    def test_empty_shard_rejected(self, dataset):
+        layers = build_spmm_jobs(dataset)
+        with pytest.raises(ConfigError):
+            slice_jobs(layers, np.empty(0, dtype=np.int64))
+
+    def test_for_shard_matches_sliced_run(self, dataset):
+        plan = make_plan(dataset.adjacency_row_nnz(), 2)
+        rows = plan.chip_rows(0)
+        direct = GcnAccelerator.for_shard(dataset, CHIP, rows).run()
+        layers = build_spmm_jobs(dataset)
+        via_jobs = GcnAccelerator.from_jobs(
+            slice_jobs(layers, rows), CHIP
+        ).run()
+        assert direct.total_cycles == via_jobs.total_cycles
+
+
+class TestRebalancePlan:
+    def _skewed(self, n=512, seed=4):
+        rng = np.random.default_rng(seed)
+        row_nnz = rng.integers(0, 6, size=n).astype(np.int64)
+        row_nnz[: n // 8] += rng.integers(20, 60, size=n // 8)
+        return row_nnz
+
+    def test_reduces_max_chip_load(self):
+        row_nnz = self._skewed()
+        plan = make_plan(row_nnz, 4, strategy="rows")
+        cluster = ClusterConfig(n_chips=4, chip=CHIP)
+        balanced, info = rebalance_plan(plan, row_nnz, cluster)
+        assert info.migrated
+        assert (
+            balanced.chip_loads(row_nnz).max()
+            < plan.chip_loads(row_nnz).max()
+        )
+
+    def test_preserves_contiguity(self):
+        row_nnz = self._skewed()
+        plan = make_plan(row_nnz, 4, strategy="rows")
+        cluster = ClusterConfig(n_chips=4, chip=CHIP)
+        balanced, _info = rebalance_plan(plan, row_nnz, cluster)
+        assert np.all(np.diff(balanced.owner) >= 0)
+
+    def test_never_worse_than_start(self):
+        # Best-map restore: the returned plan's max load can't exceed
+        # the starting plan's.
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            row_nnz = rng.integers(0, 50, size=256).astype(np.int64)
+            plan = make_plan(row_nnz, 4, strategy="rows")
+            cluster = ClusterConfig(n_chips=4, chip=CHIP)
+            balanced, _ = rebalance_plan(plan, row_nnz, cluster)
+            assert (
+                balanced.chip_loads(row_nnz).max()
+                <= plan.chip_loads(row_nnz).max()
+            )
+
+    def test_single_chip_noop(self):
+        row_nnz = self._skewed()
+        plan = make_plan(row_nnz, 1)
+        cluster = ClusterConfig(n_chips=1, chip=CHIP)
+        balanced, info = rebalance_plan(plan, row_nnz, cluster)
+        assert balanced is plan and not info.migrated
+
+    def test_scattered_plan_rejected(self):
+        row_nnz = self._skewed()
+        plan = make_plan(row_nnz, 2)
+        scattered = plan.with_owner(
+            np.where(np.arange(plan.n_blocks) % 2 == 0, 0, 1)
+        )
+        with pytest.raises(ConfigError):
+            rebalance_plan(scattered, row_nnz,
+                           ClusterConfig(n_chips=2, chip=CHIP))
+
+
+class TestShardedSpmm:
+    def test_work_conserved_and_barrier_bound(self, dataset):
+        job = SpmmJob(
+            name="A", row_nnz=dataset.adjacency_row_nnz(), n_rounds=8
+        )
+        plan = make_plan(job.row_nnz, 4)
+        cluster = ClusterConfig(n_chips=4, chip=CHIP)
+        result = simulate_sharded_spmm(
+            job, cluster, plan, adjacency=dataset.adjacency
+        )
+        assert sum(
+            r.total_work for r in result.chip_results
+        ) == job.total_work
+        assert result.total_cycles == int(
+            (result.compute_cycles + result.comm_cycles).max()
+        )
+
+    def test_no_adjacency_means_no_comm(self, dataset):
+        job = SpmmJob(
+            name="XW", row_nnz=dataset.x1_row_nnz, n_rounds=8, tdq="tdq1"
+        )
+        plan = make_plan(dataset.adjacency_row_nnz(), 4)
+        cluster = ClusterConfig(n_chips=4, chip=CHIP)
+        result = simulate_sharded_spmm(job, cluster, plan)
+        assert result.comm_cycles.sum() == 0
+
+
+class TestSimulateMultichipGcn:
+    def test_single_chip_matches_accelerator(self, dataset):
+        cluster = ClusterConfig(n_chips=1, chip=CHIP)
+        report = simulate_multichip_gcn(dataset, cluster)
+        single = GcnAccelerator(dataset, CHIP).run()
+        assert report.total_cycles == single.total_cycles
+        assert report.comm_cycles == 0
+
+    def test_deterministic(self, dataset):
+        cluster = ClusterConfig(n_chips=4, chip=CHIP)
+        a = simulate_multichip_gcn(dataset, cluster)
+        b = simulate_multichip_gcn(dataset, cluster)
+        assert a.total_cycles == b.total_cycles
+        assert np.array_equal(a.plan.owner, b.plan.owner)
+
+    def test_work_conserved_across_chips(self, dataset):
+        cluster = ClusterConfig(n_chips=4, chip=CHIP)
+        report = simulate_multichip_gcn(dataset, cluster)
+        single = GcnAccelerator(dataset, CHIP).run()
+        assert report.total_work == single.total_work
+
+    def test_layer_costs_are_barrier_synchronized(self, dataset):
+        cluster = ClusterConfig(n_chips=4, chip=CHIP, rebalance=False)
+        report = simulate_multichip_gcn(dataset, cluster)
+        for layer, cost in enumerate(report.layer_cycles):
+            compute = np.asarray([
+                r.layers[layer].pipelined_cycles
+                for r in report.chip_reports
+            ])
+            expected = int(
+                (compute + report.comm_cycles_per_layer[layer]).max()
+            ) + cluster.barrier_cycles
+            assert cost == expected
+        assert report.total_cycles == (
+            sum(report.layer_cycles) + report.migration_cycles
+        )
+
+    def test_rebalancing_beats_static_on_hub_graph(self, dataset):
+        static = simulate_multichip_gcn(
+            dataset,
+            ClusterConfig(n_chips=4, chip=CHIP, strategy="rows",
+                          rebalance=False),
+        )
+        rebalanced = simulate_multichip_gcn(
+            dataset,
+            ClusterConfig(n_chips=4, chip=CHIP, strategy="rows",
+                          rebalance=True),
+        )
+        assert rebalanced.rebalance.migrated
+        assert rebalanced.total_cycles < static.total_cycles
+
+    def test_cache_replay_is_cycle_identical(self, dataset):
+        cache = AutotuneCache()
+        cluster = ClusterConfig(n_chips=4, chip=CHIP)
+        cold = simulate_multichip_gcn(dataset, cluster, cache=cache)
+        warm = simulate_multichip_gcn(dataset, cluster, cache=cache)
+        assert not cold.cache_hit and warm.cache_hit
+        assert warm.total_cycles == cold.total_cycles
+        assert warm.layer_cycles == cold.layer_cycles
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(n_chips=2, chip=CHIP, link_words_per_cycle=0)
+
+    def test_mismatched_plan_rejected(self, dataset):
+        plan = make_plan(np.ones(64, dtype=np.int64), 2)
+        cluster = ClusterConfig(n_chips=2, chip=CHIP)
+        with pytest.raises(ConfigError):
+            simulate_multichip_gcn(dataset, cluster, plan=plan)
+
+    def test_utilization_in_unit_interval(self, dataset):
+        report = simulate_multichip_gcn(
+            dataset, ClusterConfig(n_chips=4, chip=CHIP)
+        )
+        assert 0.0 < report.utilization <= 1.0
+        assert 0.0 <= report.comm_fraction < 1.0
+
+
+class TestShardScalingHarness:
+    def test_tiny_sweep_shape_and_claims(self):
+        rows, text = compare_shard_scaling(
+            chip_counts=(1, 2), n_nodes=2048, weak_nodes_per_chip=1024,
+            pes_per_chip=32, seed=3,
+        )
+        assert {r["mode"] for r in rows} == {"strong", "weak"}
+        assert {r["regime"] for r in rows} == {"rows", "nnz", "rows+rebal"}
+        for row in rows:
+            assert row["cycles"] > 0
+            if row["chips"] == 1:
+                assert row["speedup"] == 1
+                assert row["comm_frac"] == 0
+        assert "rebalancing" in text

@@ -1,0 +1,184 @@
+"""Unit tests for the graph partitioner and halo-exchange sets."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    PARTITION_STRATEGIES,
+    ShardPlan,
+    halo_exchange,
+    make_plan,
+)
+from repro.errors import ConfigError, ShapeError
+from repro.sparse import CooMatrix, coo_to_csr
+
+
+def _rng_row_nnz(n, seed=0, hub=None):
+    rng = np.random.default_rng(seed)
+    row_nnz = rng.integers(0, 9, size=n).astype(np.int64)
+    if hub is not None:
+        row_nnz[hub] += 300
+    return row_nnz
+
+
+class TestMakePlan:
+    @pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+    @pytest.mark.parametrize("n_chips", [1, 2, 3, 7])
+    def test_plan_covers_every_row_once(self, strategy, n_chips):
+        row_nnz = _rng_row_nnz(97)
+        plan = make_plan(row_nnz, n_chips, strategy=strategy)
+        counted = np.zeros(97, dtype=np.int64)
+        for chip in range(n_chips):
+            counted[plan.chip_rows(chip)] += 1
+        assert np.all(counted == 1)
+        assert plan.chip_row_counts().sum() == 97
+
+    @pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+    def test_blocks_identical_across_strategies(self, strategy):
+        # Both strategies share one block structure; only the
+        # assignment differs — that isolates the comparison.
+        row_nnz = _rng_row_nnz(64, hub=0)
+        reference = make_plan(row_nnz, 4, strategy="rows")
+        plan = make_plan(row_nnz, 4, strategy=strategy)
+        assert np.array_equal(plan.block_bounds, reference.block_bounds)
+
+    def test_nnz_strategy_balances_hub_graph(self):
+        row_nnz = _rng_row_nnz(256, hub=3)
+        rows = make_plan(row_nnz, 4, strategy="rows").chip_loads(row_nnz)
+        nnz = make_plan(row_nnz, 4, strategy="nnz").chip_loads(row_nnz)
+        assert nnz.max() < rows.max()
+
+    def test_owner_is_contiguous_runs(self):
+        row_nnz = _rng_row_nnz(128, hub=10)
+        for strategy in PARTITION_STRATEGIES:
+            plan = make_plan(row_nnz, 4, strategy=strategy)
+            assert np.all(np.diff(plan.owner) >= 0)
+
+    def test_chip_loads_match_row_sums(self):
+        row_nnz = _rng_row_nnz(77)
+        plan = make_plan(row_nnz, 3, strategy="nnz")
+        for chip in range(3):
+            assert plan.chip_loads(row_nnz)[chip] == (
+                row_nnz[plan.chip_rows(chip)].sum()
+            )
+
+    def test_more_chips_than_rows_rejected(self):
+        with pytest.raises(ConfigError):
+            make_plan(np.ones(3, dtype=np.int64), 4)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError):
+            make_plan(np.ones(16, dtype=np.int64), 2, strategy="magic")
+
+    def test_every_chip_owns_a_block(self):
+        # Extremely skewed profile: the greedy sweep must still leave
+        # one block for every chip.
+        row_nnz = np.zeros(32, dtype=np.int64)
+        row_nnz[0] = 10_000
+        plan = make_plan(row_nnz, 8, strategy="nnz")
+        assert np.unique(plan.owner).size == 8
+
+
+class TestShardPlanValidation:
+    def test_rejects_gap_in_bounds(self):
+        with pytest.raises(ConfigError):
+            ShardPlan(n_rows=10, n_chips=2,
+                      block_bounds=np.array([0, 5, 5, 10]),
+                      owner=np.array([0, 1, 1]))
+
+    def test_rejects_missing_chip(self):
+        with pytest.raises(ConfigError):
+            ShardPlan(n_rows=10, n_chips=3,
+                      block_bounds=np.array([0, 5, 10]),
+                      owner=np.array([0, 1]))
+
+    def test_rejects_owner_out_of_range(self):
+        with pytest.raises(ConfigError):
+            ShardPlan(n_rows=10, n_chips=2,
+                      block_bounds=np.array([0, 5, 10]),
+                      owner=np.array([0, 2]))
+
+    def test_with_owner_roundtrip(self):
+        plan = make_plan(_rng_row_nnz(40), 2)
+        flipped = plan.with_owner(1 - plan.owner)
+        assert np.array_equal(
+            flipped.chip_rows(0), plan.chip_rows(1)
+        )
+
+
+def _random_adjacency(n, seed=1, density=0.05):
+    rng = np.random.default_rng(seed)
+    nnz = max(int(n * n * density), n)
+    rows = rng.integers(0, n, size=nnz)
+    cols = rng.integers(0, n, size=nnz)
+    return CooMatrix((n, n), rows, cols, np.ones(nnz))
+
+
+class TestHaloExchange:
+    def test_halo_rows_are_exactly_the_remote_references(self):
+        adj = _random_adjacency(60)
+        csr = coo_to_csr(adj)
+        plan = make_plan(csr.row_nnz(), 3, strategy="rows")
+        halo = halo_exchange(adj, plan)
+        row_owner = plan.row_owner()
+        for chip in range(3):
+            rows = plan.chip_rows(chip)
+            referenced = np.unique(csr.take_rows(rows).col_ids)
+            expected = referenced[row_owner[referenced] != chip]
+            assert np.array_equal(np.sort(halo.rows[chip]), expected)
+
+    def test_words_matrix_counts_rows_by_source(self):
+        adj = _random_adjacency(50, seed=5)
+        plan = make_plan(coo_to_csr(adj).row_nnz(), 4)
+        halo = halo_exchange(adj, plan)
+        row_owner = plan.row_owner()
+        for dest in range(4):
+            sources = row_owner[halo.rows[dest]]
+            for src in range(4):
+                assert halo.words[dest, src] == int((sources == src).sum())
+        assert np.array_equal(halo.in_rows, halo.words.sum(axis=1))
+        assert np.array_equal(halo.out_rows, halo.words.sum(axis=0))
+
+    def test_no_self_halo(self):
+        adj = _random_adjacency(40, seed=9)
+        plan = make_plan(coo_to_csr(adj).row_nnz(), 2)
+        halo = halo_exchange(adj, plan)
+        assert halo.words[0, 0] == 0 and halo.words[1, 1] == 0
+
+    def test_single_chip_has_empty_halo(self):
+        adj = _random_adjacency(30, seed=2)
+        plan = make_plan(coo_to_csr(adj).row_nnz(), 1)
+        halo = halo_exchange(adj, plan)
+        assert halo.total_rows == 0
+
+    def test_shape_mismatch_rejected(self):
+        adj = _random_adjacency(30)
+        plan = make_plan(np.ones(20, dtype=np.int64), 2)
+        with pytest.raises(ConfigError):
+            halo_exchange(adj, plan)
+
+
+class TestCsrBlockSlicing:
+    def test_row_block_matches_dense_slice(self, small_coo):
+        csr = coo_to_csr(small_coo)
+        block = csr.row_block(4, 11)
+        assert np.array_equal(block.to_dense(), csr.to_dense()[4:11])
+
+    def test_take_rows_matches_dense_gather(self, small_coo):
+        csr = coo_to_csr(small_coo)
+        rows = np.array([12, 0, 7, 7, 3])
+        assert np.array_equal(
+            csr.take_rows(rows).to_dense(), csr.to_dense()[rows]
+        )
+
+    def test_take_rows_empty(self, small_coo):
+        csr = coo_to_csr(small_coo)
+        sub = csr.take_rows(np.empty(0, dtype=np.int64))
+        assert sub.shape == (0, csr.shape[1]) and sub.nnz == 0
+
+    def test_out_of_range_rejected(self, small_coo):
+        csr = coo_to_csr(small_coo)
+        with pytest.raises(ShapeError):
+            csr.row_block(0, csr.shape[0] + 1)
+        with pytest.raises(ShapeError):
+            csr.take_rows(np.array([csr.shape[0]]))

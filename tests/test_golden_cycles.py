@@ -15,6 +15,7 @@ comparison would let off-by-one cycle drift through.
 import pytest
 
 from repro.accel import ArchConfig, GcnAccelerator
+from repro.cluster import ClusterConfig, simulate_multichip_gcn
 from repro.serve import AutotuneCache, RmatGraphSpec
 
 GOLDEN = [
@@ -107,3 +108,70 @@ class TestGoldenCycles:
         assert replay.cache_hit
         assert replay.total_cycles == expected["total_cycles"]
         assert replay.per_layer_cycles() == expected["per_layer_cycles"]
+
+
+SHARDED_SPEC = RmatGraphSpec(
+    n_nodes=2048, avg_degree=12, f1=32, f2=24, f3=4, seed=404,
+    abcd=(0.62, 0.16, 0.16, 0.06),
+)
+SHARDED_CLUSTER = ClusterConfig(
+    n_chips=4,
+    chip=ArchConfig(n_pes=64, hop=1, remote_switching=True),
+    link_words_per_cycle=16.0,
+)
+SHARDED_GOLDEN = {
+    "total_cycles": 10974,
+    "layer_cycles": (9320, 1622),
+    "migration_cycles": 32,
+    "migrated_blocks": 1,
+    "utilization": 0.32811503326043373,
+    "per_chip_cycles": [9198, 5799, 6247, 4854],
+}
+
+
+class TestGoldenShardedCycles:
+    """Pinned multi-chip outcome for one hub-heavy sharded RMAT config.
+
+    Covers the whole cluster pipeline: partitioning, chip-level Eq. 5
+    boundary diffusion (one block migrates in this config), per-chip
+    simulation, halo/barrier composition and migration pricing. Any
+    legitimate change to the multi-chip model must update these numbers
+    consciously, in the same commit.
+    """
+
+    def _report(self, cache=None):
+        return simulate_multichip_gcn(
+            SHARDED_SPEC.build(), SHARDED_CLUSTER, cache=cache
+        )
+
+    def test_total_and_layer_cycles_pinned(self):
+        report = self._report()
+        assert report.total_cycles == SHARDED_GOLDEN["total_cycles"]
+        assert report.layer_cycles == SHARDED_GOLDEN["layer_cycles"]
+
+    def test_rebalance_and_migration_pinned(self):
+        report = self._report()
+        assert report.migration_cycles == SHARDED_GOLDEN["migration_cycles"]
+        assert (
+            report.rebalance.migrated_blocks
+            == SHARDED_GOLDEN["migrated_blocks"]
+        )
+
+    def test_per_chip_cycles_pinned(self):
+        report = self._report()
+        assert [
+            r.total_cycles for r in report.chip_reports
+        ] == SHARDED_GOLDEN["per_chip_cycles"]
+
+    def test_utilization_pinned(self):
+        assert self._report().utilization == pytest.approx(
+            SHARDED_GOLDEN["utilization"], abs=1e-12
+        )
+
+    def test_cache_replay_matches_golden(self):
+        cache = AutotuneCache()
+        self._report(cache=cache)
+        replay = self._report(cache=cache)
+        assert replay.cache_hit
+        assert replay.total_cycles == SHARDED_GOLDEN["total_cycles"]
+        assert replay.layer_cycles == SHARDED_GOLDEN["layer_cycles"]

@@ -1,0 +1,257 @@
+"""Tests for serve-layer admission control, reconfiguration cost,
+sharded dispatch and cache-recency persistence."""
+
+import numpy as np
+import pytest
+
+from repro.accel import ArchConfig
+from repro.accel.gcnaccel import CachedTuning
+from repro.errors import ConfigError
+from repro.serve import (
+    AutotuneCache,
+    InferenceRequest,
+    InferenceService,
+    RmatGraphSpec,
+    serve_requests,
+)
+
+CFG_A = ArchConfig(n_pes=16, hop=1, remote_switching=True)
+CFG_B = ArchConfig(n_pes=24, hop=1, remote_switching=True)
+SPEC = RmatGraphSpec(n_nodes=192, avg_degree=6, f1=16, f2=8, f3=4, seed=5)
+BIG = RmatGraphSpec(n_nodes=1024, avg_degree=6, f1=16, f2=8, f3=4, seed=6)
+
+
+def _req(graph=SPEC, config=CFG_A, **kwargs):
+    return InferenceRequest(graph=graph, config=config, **kwargs)
+
+
+class TestShedExpired:
+    def _overload(self):
+        # One instance, tight SLOs, a burst: later requests expire
+        # while queueing behind the first.
+        return [
+            _req(arrival_time=0.0, slo_ms=0.01) for _ in range(6)
+        ]
+
+    def test_sheds_expired_requests(self):
+        outcome = serve_requests(
+            self._overload(), n_workers=1, max_batch=1, shed_expired=True
+        )
+        shed = [r for r in outcome.results if r.shed]
+        assert shed, "expected expired requests to be shed"
+        assert outcome.stats.n_shed == len(shed)
+        assert outcome.stats.shed_rate == pytest.approx(len(shed) / 6)
+
+    def test_shed_results_are_recorded_outcomes(self):
+        outcome = serve_requests(
+            self._overload(), n_workers=1, max_batch=1, shed_expired=True
+        )
+        for result in outcome.results:
+            if result.shed:
+                assert result.total_cycles == 0
+                assert result.worker == -1
+                assert result.finish_time >= result.deadline
+                assert result.slo_met is False
+
+    def test_results_keep_submission_alignment(self):
+        requests = self._overload()
+        outcome = serve_requests(
+            requests, n_workers=1, max_batch=1, shed_expired=True
+        )
+        assert len(outcome.results) == len(requests)
+        assert [r.request_id for r in outcome.results] == list(range(6))
+
+    def test_latency_stats_exclude_shed(self):
+        outcome = serve_requests(
+            self._overload(), n_workers=1, max_batch=1, shed_expired=True
+        )
+        served = [r for r in outcome.results if not r.shed]
+        assert outcome.latency.n == len(served)
+
+    def test_default_serves_late_identically(self):
+        # shed_expired=False must remain bit-identical to the
+        # historical behavior: everything served, just late.
+        requests = self._overload()
+        off = serve_requests(requests, n_workers=1, max_batch=1)
+        explicit = serve_requests(
+            requests, n_workers=1, max_batch=1, shed_expired=False
+        )
+        assert off.stats.n_shed == explicit.stats.n_shed == 0
+        assert [r.finish_time for r in off.results] == [
+            r.finish_time for r in explicit.results
+        ]
+
+    def test_no_slo_never_shed(self):
+        requests = [_req(arrival_time=0.0) for _ in range(5)]
+        outcome = serve_requests(
+            requests, n_workers=1, max_batch=1, shed_expired=True
+        )
+        assert outcome.stats.n_shed == 0
+
+    def test_flag_is_noop_when_deadlines_loose(self):
+        requests = [_req(arrival_time=0.0, slo_ms=1e6) for _ in range(4)]
+        on = serve_requests(requests, n_workers=2, shed_expired=True)
+        off = serve_requests(requests, n_workers=2)
+        assert on.stats.n_shed == 0
+        assert [r.total_cycles for r in on.results] == [
+            r.total_cycles for r in off.results
+        ]
+        assert [r.finish_time for r in on.results] == [
+            r.finish_time for r in off.results
+        ]
+
+
+class TestReconfigCycles:
+    def _alternating(self, n=4):
+        return [
+            _req(config=CFG_A if i % 2 == 0 else CFG_B) for i in range(n)
+        ]
+
+    def test_default_zero_is_free(self):
+        requests = self._alternating()
+        charged = serve_requests(requests, n_workers=1, max_batch=1)
+        assert charged.workers[0].reconfigs == 3  # switches counted
+        base = serve_requests(
+            requests, n_workers=1, max_batch=1, reconfig_cycles=0
+        )
+        assert base.stats.makespan_seconds == charged.stats.makespan_seconds
+
+    def test_switch_penalty_delays_service(self):
+        requests = self._alternating()
+        free = serve_requests(requests, n_workers=1, max_batch=1)
+        penalty_cycles = 500_000
+        charged = serve_requests(
+            requests, n_workers=1, max_batch=1,
+            reconfig_cycles=penalty_cycles,
+        )
+        # Three switches, each charged at the incoming config's clock.
+        expected = (
+            CFG_B.cycles_to_seconds(penalty_cycles) * 2
+            + CFG_A.cycles_to_seconds(penalty_cycles)
+        )
+        assert charged.stats.makespan_seconds == pytest.approx(
+            free.stats.makespan_seconds + expected
+        )
+
+    def test_same_config_never_charged(self):
+        requests = [_req() for _ in range(4)]
+        charged = serve_requests(
+            requests, n_workers=1, max_batch=1, reconfig_cycles=10 ** 9
+        )
+        assert charged.workers[0].reconfigs == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            InferenceService(reconfig_cycles=-1)
+
+
+class TestShardedDispatch:
+    def test_oversized_graph_gang_schedules(self):
+        outcome = serve_requests(
+            [_req(graph=BIG), _req(graph=SPEC)],
+            n_workers=4, chip_capacity=256,
+        )
+        big, small = outcome.results
+        assert big.n_shards == 4
+        assert small.n_shards == 1
+        assert outcome.stats.n_sharded == 1
+
+    def test_shard_count_clamped_to_pool(self):
+        outcome = serve_requests(
+            [_req(graph=BIG)], n_workers=2, chip_capacity=128
+        )
+        assert outcome.results[0].n_shards == 2
+
+    def test_capacity_none_disables_sharding(self):
+        outcome = serve_requests([_req(graph=BIG)], n_workers=4)
+        assert outcome.results[0].n_shards == 1
+        assert outcome.stats.n_sharded == 0
+
+    def test_sharded_job_occupies_all_participants(self):
+        outcome = serve_requests(
+            [_req(graph=BIG)], n_workers=3, chip_capacity=256
+        )
+        result = outcome.results[0]
+        busy = [w for w in outcome.workers if w.modeled_busy_seconds > 0]
+        assert len(busy) == result.n_shards == 3
+        assert all(
+            w.modeled_busy_seconds
+            == pytest.approx(result.finish_time - result.start_time)
+            for w in busy
+        )
+
+    def test_sharded_results_deterministic_and_cached(self):
+        service = InferenceService(
+            n_workers=4, chip_capacity=256, cache=True
+        )
+        service.submit_many([_req(graph=BIG)])
+        cold = service.drain().results[0]
+        service.submit_many([_req(graph=BIG)])
+        warm = service.drain().results[0]
+        assert not cold.cache_hit and warm.cache_hit
+        assert warm.total_cycles == cold.total_cycles
+
+    def test_mixed_traffic_all_answered(self):
+        requests = [
+            _req(graph=SPEC, arrival_time=0.0),
+            _req(graph=BIG, arrival_time=0.0),
+            _req(graph=SPEC, arrival_time=0.0),
+        ]
+        outcome = serve_requests(
+            requests, n_workers=4, chip_capacity=512
+        )
+        assert len(outcome.results) == 3
+        assert [r.n_shards for r in outcome.results] == [1, 2, 1]
+
+    def test_cluster_options_forwarded(self):
+        slow = serve_requests(
+            [_req(graph=BIG)], n_workers=4, chip_capacity=256,
+            cluster_options={"link_words_per_cycle": 0.25},
+        )
+        fast = serve_requests(
+            [_req(graph=BIG)], n_workers=4, chip_capacity=256,
+            cluster_options={"link_words_per_cycle": 64.0},
+        )
+        assert slow.results[0].total_cycles > fast.results[0].total_cycles
+
+    def test_reserved_cluster_options_rejected(self):
+        with pytest.raises(ConfigError):
+            InferenceService(chip_capacity=64,
+                             cluster_options={"n_chips": 3})
+
+
+class TestCacheRecencyPersistence:
+    def _entry(self):
+        return CachedTuning(layers=())
+
+    def _warm_cache(self):
+        cache = AutotuneCache(max_entries=3)
+        for key in "abc":
+            cache.store(key, CFG_A, self._entry())
+        # Touch "a": recency order is now b < c < a.
+        assert cache.lookup("a", CFG_A) is not None
+        return cache
+
+    def test_recency_survives_roundtrip(self, tmp_path):
+        path = self._warm_cache().save(tmp_path / "cache")
+        restored = AutotuneCache.load(path, max_entries=3)
+        restored.store("d", CFG_A, self._entry())
+        # True LRU ("b") evicted — not the alphabetically-first key.
+        assert AutotuneCache.key("b", CFG_A) not in restored
+        for kept in "cad":
+            assert AutotuneCache.key(kept, CFG_A) in restored
+
+    def test_bounded_load_keeps_most_recent(self, tmp_path):
+        path = self._warm_cache().save(tmp_path / "cache")
+        restored = AutotuneCache.load(path, max_entries=2)
+        assert AutotuneCache.key("b", CFG_A) not in restored
+        for kept in "ca":
+            assert AutotuneCache.key(kept, CFG_A) in restored
+
+    def test_multiple_roundtrips_preserve_order(self, tmp_path):
+        cache = self._warm_cache()
+        for hop in range(3):
+            path = cache.save(tmp_path / f"hop{hop}")
+            cache = AutotuneCache.load(path, max_entries=3)
+        cache.store("d", CFG_A, self._entry())
+        assert AutotuneCache.key("b", CFG_A) not in cache

@@ -32,6 +32,39 @@ SWEEP_KWARGS = (
 )
 
 
+HETERO_RING_KWARGS = (
+    {"chip_counts": (1, 2, 4), "n_nodes": 4096, "weak_nodes_per_chip": 2048}
+    if SMOKE
+    else {"chip_counts": (1, 2, 4, 8)}
+)
+
+
+def test_bench_shard_scaling_hetero_ring(benchmark, bench_seed):
+    """One heterogeneous big/little cluster on a ring fabric with halo
+    overlap and cycle-feedback rebalancing — the full new-model stack in
+    one sweep. The core claim carries over: runtime rebalancing beats
+    the naive static partition at every multi-chip point, now measuring
+    *time* on unequal chips instead of load on equal ones."""
+    rows, text = run_once(
+        benchmark, compare_shard_scaling, seed=bench_seed,
+        topology="ring", hetero=True, overlap=True, feedback=True,
+        hop_latency_cycles=8, **HETERO_RING_KWARGS,
+    )
+    save_artifact("shard_scaling_hetero", rows, text)
+
+    by_cell = {
+        (r["mode"], r["regime"], r["chips"]): r for r in rows
+    }
+    for mode in ("strong", "weak"):
+        for chips in HETERO_RING_KWARGS["chip_counts"]:
+            if chips == 1:
+                continue
+            static = by_cell[(mode, "rows", chips)]
+            rebal = by_cell[(mode, "rows+rebal", chips)]
+            assert rebal["cycles"] < static["cycles"], (mode, chips, text)
+            assert rebal["migrated_blocks"] > 0, (mode, chips, text)
+
+
 def test_bench_shard_scaling(benchmark, bench_seed):
     rows, text = run_once(
         benchmark, compare_shard_scaling, seed=bench_seed, **SWEEP_KWARGS

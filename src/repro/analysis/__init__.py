@@ -19,7 +19,10 @@ from repro.analysis.figures import (
 )
 from repro.analysis.export import rows_to_csv, rows_to_json
 from repro.analysis.rebalance import compare_rebalance, rmat_pe_loads
-from repro.analysis.shardscale import compare_shard_scaling
+from repro.analysis.shardscale import (
+    compare_shard_scaling,
+    compare_shard_topology,
+)
 from repro.analysis.heatmap import (
     heat_strip,
     rebalancing_heat_story,
@@ -46,6 +49,7 @@ __all__ = [
     "rows_to_json",
     "compare_rebalance",
     "compare_shard_scaling",
+    "compare_shard_topology",
     "rmat_pe_loads",
     "heat_strip",
     "rebalancing_heat_story",

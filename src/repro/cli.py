@@ -14,6 +14,8 @@ Usage::
     python -m repro serve-bench --arrival-rate 400 --slo-ms 5
     python -m repro bench-rebalance [--pe-counts 64,256,1024,4096]
     python -m repro shard-bench [--chips 1,2,4,8] [--nodes 8192]
+    python -m repro shard-bench --topology ring --hetero --overlap --feedback
+    python -m repro shard-topology [--chips 4] [--aggregate-bandwidth 64]
     python -m repro summary           # dataset inventory
 
 Each command prints the rendered table; ``--out DIR`` additionally
@@ -153,9 +155,49 @@ def build_parser():
     shard.add_argument("--blocks-per-chip", type=int, default=8,
                        help="row-block migration granularity "
                             "(default: 8 blocks per chip)")
+    shard.add_argument("--topology", default="all-to-all",
+                       choices=["all-to-all", "ring", "mesh2d"],
+                       help="inter-chip fabric (default: all-to-all)")
+    shard.add_argument("--hop-latency", type=int, default=0,
+                       help="per-hop fabric transit latency in cycles "
+                            "(default: 0)")
+    shard.add_argument("--hetero", action="store_true",
+                       help="alternating big/little chips (full and "
+                            "half --pes-per-chip)")
+    shard.add_argument("--overlap", action="store_true",
+                       help="double-buffer halo transfers behind compute")
+    shard.add_argument("--feedback", action="store_true",
+                       help="rebalance on measured per-chip cycles "
+                            "instead of the static load signal")
     shard.add_argument("--seed", type=int, default=7)
     shard.add_argument("--out", default=None, metavar="DIR",
                        help="also write rows as CSV under DIR")
+
+    topo = sub.add_parser(
+        "shard-topology",
+        help=("topology x rebalancing-signal sweep at equal aggregate "
+              "bandwidth: all-to-all vs ring vs mesh2d, load-signal vs "
+              "cycle-feedback, serialized vs overlapped halos"),
+    )
+    topo.add_argument("--chips", type=int, default=4,
+                      help="cluster size (default: 4)")
+    topo.add_argument("--nodes", type=int, default=8192,
+                      help="graph size (default: 8192)")
+    topo.add_argument("--pes-per-chip", type=int, default=128,
+                      help="PE count of each chip (default: 128)")
+    topo.add_argument("--aggregate-bandwidth", type=float, default=64.0,
+                      help="total fabric bandwidth in words/cycle, split "
+                           "evenly over each topology's links "
+                           "(default: 64.0)")
+    topo.add_argument("--hop-latency", type=int, default=8,
+                      help="per-hop fabric transit latency in cycles "
+                           "(default: 8)")
+    topo.add_argument("--blocks-per-chip", type=int, default=4,
+                      help="row-block migration granularity "
+                           "(default: 4 blocks per chip)")
+    topo.add_argument("--seed", type=int, default=7)
+    topo.add_argument("--out", default=None, metavar="DIR",
+                      help="also write rows as CSV under DIR")
     return parser
 
 
@@ -236,9 +278,28 @@ def main(argv=None):
             pes_per_chip=args.pes_per_chip,
             link_words_per_cycle=args.link_words,
             blocks_per_chip=args.blocks_per_chip,
+            topology=args.topology,
+            hop_latency_cycles=args.hop_latency,
+            hetero=args.hetero,
+            overlap=args.overlap,
+            feedback=args.feedback,
             seed=args.seed,
         )
         return _emit(args, "shard_scaling", rows, text)
+
+    if args.command == "shard-topology":
+        from repro.analysis import compare_shard_topology
+
+        rows, text = compare_shard_topology(
+            n_chips=args.chips,
+            n_nodes=args.nodes,
+            pes_per_chip=args.pes_per_chip,
+            aggregate_bandwidth=args.aggregate_bandwidth,
+            hop_latency_cycles=args.hop_latency,
+            blocks_per_chip=args.blocks_per_chip,
+            seed=args.seed,
+        )
+        return _emit(args, "shard_topology", rows, text)
 
     if args.command == "bench-rebalance":
         from repro.analysis import compare_rebalance

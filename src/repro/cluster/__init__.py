@@ -39,8 +39,14 @@ from repro.cluster.partition import (
     PARTITION_STRATEGIES,
     HaloExchange,
     ShardPlan,
+    check_capacities,
     halo_exchange,
     make_plan,
+)
+from repro.cluster.topology import (
+    TOPOLOGY_KINDS,
+    Topology,
+    make_topology,
 )
 from repro.cluster.exec import (
     reference_forward,
@@ -48,6 +54,7 @@ from repro.cluster.exec import (
     sharded_spmm,
 )
 from repro.cluster.multichip import (
+    REBALANCE_SIGNALS,
     ClusterConfig,
     ClusterReport,
     RebalanceInfo,
@@ -59,10 +66,15 @@ from repro.cluster.multichip import (
 
 __all__ = [
     "PARTITION_STRATEGIES",
+    "REBALANCE_SIGNALS",
+    "TOPOLOGY_KINDS",
     "HaloExchange",
     "ShardPlan",
+    "Topology",
+    "check_capacities",
     "halo_exchange",
     "make_plan",
+    "make_topology",
     "reference_forward",
     "sharded_gcn_forward",
     "sharded_spmm",

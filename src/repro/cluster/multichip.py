@@ -2,8 +2,10 @@
 
 One chip is one AWB-GCN instance (an :class:`~repro.accel.ArchConfig`
 PE array simulated by :func:`~repro.accel.cyclemodel.simulate_spmm`);
-a *cluster* is ``n_chips`` of them connected by per-chip links of
-``link_words_per_cycle`` bandwidth, executing one graph under a
+a *cluster* is ``n_chips`` of them — identical by default, or a
+heterogeneous mix via :attr:`ClusterConfig.chips` — connected by a
+routed fabric (:class:`~repro.cluster.topology.Topology`:
+``all-to-all``, ``ring`` or ``mesh2d``), executing one graph under a
 :class:`~repro.cluster.partition.ShardPlan`.
 
 Composition model, per GCN layer:
@@ -11,45 +13,72 @@ Composition model, per GCN layer:
 * every chip runs its sliced jobs (XW + aggregation hops) through the
   ordinary single-chip pipeline (:class:`~repro.accel.GcnAccelerator`
   over :func:`~repro.accel.gcnaccel.slice_jobs`), autotune cache and
-  all;
+  all, *at its own clock*; per-chip cycles are converted to the
+  cluster's reference clock (chip 0's) before composition;
 * before aggregation it must receive its halo rows of the dense
-  intermediate — ``halo_rows x rounds x hops`` words over its ingress
-  link;
+  intermediate; each chip-pair's flow is priced over its route through
+  the fabric — contended links sum their traffic — instead of the old
+  flat per-chip ingress scalar;
+* with ``overlap=False`` (the default, bit-identical to the serialized
+  PR 4 model) a chip's layer cost is ``compute + comm``; with
+  ``overlap=True`` the halo transfer is double-buffered behind compute:
+  the cost becomes ``max(compute, comm) + exposed_tail``, where the
+  exposed tail is the first buffer fill (one dense column's halo) that
+  nothing can hide;
 * a layer ends at a barrier (the next layer's ``X W`` needs the full
-  previous output), so the layer costs the *slowest* chip's compute +
-  communication, plus a fixed ``barrier_cycles`` sync overhead.
+  previous output), so the layer costs the *slowest* chip's composed
+  cost, plus a fixed ``barrier_cycles`` sync overhead.
 
 Chip-level rebalancing lifts the paper's mechanism one level up: the
 row blocks of the plan play the role of rows, chips play the role of
-PEs, and the per-chip observed load is the Eq. 5 utilization signal.
-One chip-level detail changes the migration *pattern*: arbitrary
-hotspot->coldspot block swaps (the literal remote-switching lift)
-scatter ownership, which both inflates the halo sets and concentrates
-a power-law graph's dense region on whichever chip received its
-blocks. The controller here therefore migrates *boundary* blocks
-between adjacent chips — diffusive rebalancing on the chip chain —
-with each neighbor pair exchanging up to half its load gap per round
-(exactly the intra-chip SLT's ``work_target = gap / 2`` selection
-rule, Sec. 4.2). Contiguity is preserved, halos stay small, and the
-dense region ends up *split across* consecutive chips instead of
-swapped around. Migrated blocks pay for their adjacency-structure
-transfer (``migration_words_per_nnz`` words per moved non-zero) over
-the link before execution starts.
+PEs. Two migration signals are available (Eq. 5's core idea is that the
+signal should be *observed* imbalance):
+
+* ``rebalance_signal="load"`` — the per-chip capacity-normalized load
+  (owned nnz / relative chip throughput) approximates per-chip time
+  without running anything; boundary blocks diffuse between adjacent
+  chips, each pair exchanging up to half its *time* gap per round (the
+  intra-chip SLT's ``work_target = gap / 2`` selection rule, Sec. 4.2,
+  measured in time so a fast chip absorbs proportionally more work);
+* ``rebalance_signal="cycles"`` — cycle feedback: each round actually
+  simulates the chips, observes their measured reference-clock cycles,
+  and diffuses on *that* signal (each chip's marginal cost per nnz is
+  estimated from its own measurement). Internally-clustered shards
+  whose nnz balance but whose intra-chip structure stays slow — the
+  regime static load balancing cannot see — migrate under this mode.
+
+Both modes preserve contiguity (diffusion on the chip chain keeps
+shards contiguous and halos small) and restore the best map seen, and
+migrated blocks pay for their adjacency-structure transfer
+(``migration_words_per_nnz`` words per moved non-zero) over the fabric
+before execution starts.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.accel.config import ArchConfig
 from repro.accel.cyclemodel import SpmmJob, simulate_spmm
 from repro.accel.gcnaccel import GcnAccelerator, build_spmm_jobs, slice_jobs
-from repro.cluster.partition import ShardPlan, halo_exchange, make_plan
+from repro.cluster.partition import (
+    ShardPlan,
+    check_capacities,
+    halo_exchange,
+    make_plan,
+)
+from repro.cluster.topology import TOPOLOGY_KINDS, Topology, make_topology
 from repro.errors import ConfigError
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import (
+    check_non_negative_int,
+    check_positive_finite,
+    check_positive_int,
+)
+
+REBALANCE_SIGNALS = ("load", "cycles")
 
 
 @dataclass(frozen=True)
@@ -61,11 +90,33 @@ class ClusterConfig:
     n_chips:
         Number of accelerator chips executing one sharded graph.
     chip:
-        The per-chip :class:`~repro.accel.ArchConfig` (all chips are
-        identical — heterogeneous pools belong to the serving layer).
+        The per-chip :class:`~repro.accel.ArchConfig` when the cluster
+        is homogeneous. When ``chips`` is given this field is overridden
+        to ``chips[0]`` — the *reference chip* whose clock defines the
+        cluster's cycle domain.
+    chips:
+        Optional per-chip :class:`~repro.accel.ArchConfig` sequence
+        (length ``n_chips``) for heterogeneous clusters: chips may
+        differ in PE count and frequency. None (default) replicates
+        ``chip``. Per-chip relative capacity (PEs x frequency) drives
+        the capacity-normalized partitioner and rebalancer — migration
+        targets equal *time*, not equal load.
     link_words_per_cycle:
-        Ingress bandwidth of each chip's inter-chip link in dense words
-        per chip cycle (8.0 ~ a 256-bit link at core clock).
+        Bandwidth of each individual directed fabric link in dense words
+        per reference-chip cycle (8.0 ~ a 256-bit link at core clock).
+        Must be finite.
+    topology:
+        Fabric kind (``"all-to-all"``, ``"ring"``, ``"mesh2d"``) or a
+        prebuilt :class:`~repro.cluster.topology.Topology`. The default
+        all-to-all with zero hop latency reproduces the PR 4 flat
+        ingress model bit-for-bit.
+    hop_latency_cycles:
+        Fixed per-hop transit latency charged on every fabric flow
+        (ignored when ``topology`` is a prebuilt instance, which
+        carries its own).
+    overlap:
+        Double-buffer halo transfers behind compute. Default False
+        keeps the serialized ``compute + comm`` layer model.
     barrier_cycles:
         Fixed per-layer synchronization overhead, charged once per GCN
         layer when ``n_chips > 1``.
@@ -76,55 +127,155 @@ class ClusterConfig:
         Migration granularity: initial row blocks per chip.
     rebalance:
         Enables the chip-level Eq. 5 block rebalancer.
+    rebalance_signal:
+        ``"load"`` (capacity-normalized owned nnz, the static signal)
+        or ``"cycles"`` (measured per-chip cycles fed back round by
+        round — each feedback round re-simulates the chips).
+    feedback_rounds:
+        Migration sweeps the ``"cycles"`` signal may run (each costs
+        one full per-chip simulation pass).
     max_rebalance_rounds:
-        Upper bound on rebalancing iterations (the controller usually
-        freezes earlier via its patience rule).
+        Upper bound on load-signal rebalancing iterations (the
+        controller usually freezes earlier via its patience rule).
     rebalance_patience:
-        Rounds without load-gap improvement before the block map
-        freezes (Eq. 5 patience, chip level).
+        Rounds without improvement before the block map freezes
+        (Eq. 5 patience, chip level) — both signals honor it.
     migration_words_per_nnz:
-        Link words charged per migrated adjacency non-zero (index +
-        value = 2 words by default).
+        Fabric words charged per migrated adjacency non-zero (index +
+        value = 2 words by default). Any positive finite number.
     """
 
     n_chips: int = 4
     chip: ArchConfig = field(default_factory=ArchConfig)
+    chips: tuple = None
     link_words_per_cycle: float = 8.0
+    topology: object = "all-to-all"
+    hop_latency_cycles: int = 0
+    overlap: bool = False
     barrier_cycles: int = 64
     strategy: str = "nnz"
     blocks_per_chip: int = 8
     rebalance: bool = True
+    rebalance_signal: str = "load"
+    feedback_rounds: int = 4
     max_rebalance_rounds: int = 16
     rebalance_patience: int = 2
-    migration_words_per_nnz: int = 2
+    migration_words_per_nnz: float = 2
 
     def __post_init__(self):
         check_positive_int(self.n_chips, "n_chips")
+        if self.chips is not None:
+            chips = tuple(self.chips)
+            if len(chips) != self.n_chips:
+                raise ConfigError(
+                    f"chips must have one ArchConfig per chip "
+                    f"({self.n_chips}), got {len(chips)}"
+                )
+            for cfg in chips:
+                if not isinstance(cfg, ArchConfig):
+                    raise ConfigError(
+                        "chips entries must be ArchConfig, got "
+                        f"{type(cfg).__name__}"
+                    )
+            object.__setattr__(self, "chips", chips)
+            # The reference chip: its clock is the report's cycle domain.
+            object.__setattr__(self, "chip", chips[0])
         if not isinstance(self.chip, ArchConfig):
             raise ConfigError(
                 f"chip must be ArchConfig, got {type(self.chip).__name__}"
             )
-        if self.link_words_per_cycle <= 0:
+        check_positive_finite(
+            self.link_words_per_cycle, "link_words_per_cycle"
+        )
+        check_positive_finite(
+            self.migration_words_per_nnz, "migration_words_per_nnz"
+        )
+        if isinstance(self.topology, Topology):
+            if self.topology.n_chips != self.n_chips:
+                raise ConfigError(
+                    f"topology connects {self.topology.n_chips} chips "
+                    f"but the cluster has {self.n_chips}"
+                )
+        elif self.topology not in TOPOLOGY_KINDS:
             raise ConfigError(
-                "link_words_per_cycle must be > 0, got "
-                f"{self.link_words_per_cycle}"
+                f"topology must be one of {TOPOLOGY_KINDS} or a Topology, "
+                f"got {self.topology!r}"
             )
+        check_non_negative_int(self.hop_latency_cycles, "hop_latency_cycles")
         if self.barrier_cycles < 0:
             raise ConfigError(
                 f"barrier_cycles must be >= 0, got {self.barrier_cycles}"
             )
+        if self.rebalance_signal not in REBALANCE_SIGNALS:
+            raise ConfigError(
+                f"rebalance_signal must be one of {REBALANCE_SIGNALS}, "
+                f"got {self.rebalance_signal!r}"
+            )
         check_positive_int(self.blocks_per_chip, "blocks_per_chip")
+        check_positive_int(self.feedback_rounds, "feedback_rounds")
         check_positive_int(self.max_rebalance_rounds, "max_rebalance_rounds")
         check_positive_int(self.rebalance_patience, "rebalance_patience")
-        check_positive_int(
-            self.migration_words_per_nnz, "migration_words_per_nnz"
+
+    @property
+    def chip_configs(self):
+        """Per-chip :class:`~repro.accel.ArchConfig` (length ``n_chips``)."""
+        if self.chips is not None:
+            return self.chips
+        return (self.chip,) * self.n_chips
+
+    def chip_for(self, chip):
+        """The :class:`~repro.accel.ArchConfig` of chip ``chip``."""
+        return self.chip_configs[chip]
+
+    @property
+    def is_heterogeneous(self):
+        """Whether any chip differs from the reference chip."""
+        return self.chips is not None and any(
+            cfg != self.chip for cfg in self.chips
         )
 
-    def comm_cycles(self, words):
-        """Cycles to move ``words`` dense words over one chip link."""
-        if words <= 0:
-            return 0
-        return int(math.ceil(words / self.link_words_per_cycle))
+    def capacities(self):
+        """Relative per-chip compute throughput (reference chip = 1.0).
+
+        Capacity is ``n_pes x frequency`` — MACs per unit wall time —
+        normalized so a homogeneous cluster yields exact ones (the
+        capacity-aware arithmetic then reduces bit-for-bit to the
+        homogeneous paths).
+        """
+        ref = self.chip.n_pes * self.chip.frequency_mhz
+        raw = [
+            cfg.n_pes * cfg.frequency_mhz / ref for cfg in self.chip_configs
+        ]
+        return check_capacities(raw, self.n_chips)
+
+    @property
+    def fabric(self):
+        """The resolved :class:`~repro.cluster.topology.Topology`, memoized."""
+        cached = self.__dict__.get("_fabric")
+        if cached is None:
+            if isinstance(self.topology, Topology):
+                cached = self.topology
+            else:
+                cached = make_topology(
+                    self.topology,
+                    self.n_chips,
+                    link_words_per_cycle=self.link_words_per_cycle,
+                    hop_latency_cycles=self.hop_latency_cycles,
+                )
+            object.__setattr__(self, "_fabric", cached)
+        return cached
+
+    def ref_cycles(self, cycles, chip_config):
+        """Convert one chip's own-clock cycles to reference-chip cycles.
+
+        Exact (no float round trip) when the frequencies match, which
+        keeps homogeneous clusters bit-identical to the PR 4 model.
+        """
+        if chip_config.frequency_mhz == self.chip.frequency_mhz:
+            return int(cycles)
+        return int(math.ceil(
+            cycles * self.chip.frequency_mhz / chip_config.frequency_mhz
+        ))
 
 
 @dataclass(frozen=True)
@@ -136,7 +287,11 @@ class RebalanceInfo:
     migrated_blocks: int
     migrated_nnz: int
     gap_history: tuple
-    """Per-round hotspot/coldspot load gap the controller observed."""
+    """Per-round hotspot/coldspot gap the controller observed: load gap
+    (capacity-normalized when chips differ) for the ``"load"`` signal,
+    measured reference-cycle gap for ``"cycles"``."""
+    signal: str = "load"
+    """Which migration signal produced this outcome."""
 
     @property
     def migrated(self):
@@ -144,93 +299,143 @@ class RebalanceInfo:
         return self.migrated_blocks > 0
 
 
-def rebalance_plan(plan, row_nnz, cluster):
-    """Run the chip-level Eq. 5 controller; returns ``(plan, info)``.
+def _noop_info(signal="load"):
+    return RebalanceInfo(
+        rounds=0, converged_round=None, migrated_blocks=0,
+        migrated_nnz=0, gap_history=(), signal=signal,
+    )
+
+
+def _plan_bounds(plan):
+    """Contiguous run bounds of a plan's owner array (validates)."""
+    if np.any(np.diff(plan.owner) < 0):
+        raise ConfigError(
+            "boundary-diffusion rebalancing requires a contiguous plan "
+            "(owner sorted in chip-id runs)"
+        )
+    counts = np.bincount(plan.owner, minlength=plan.n_chips)
+    return np.concatenate(([0], np.cumsum(counts)))
+
+
+def _check_rebalance_inputs(plan, cluster):
+    if not isinstance(plan, ShardPlan):
+        raise ConfigError(
+            f"plan must be ShardPlan, got {type(plan).__name__}"
+        )
+    if plan.n_chips != cluster.n_chips:
+        raise ConfigError(
+            f"plan shards across {plan.n_chips} chips but the cluster "
+            f"has {cluster.n_chips}"
+        )
+
+
+def _diffuse_pairs(bounds, weights, chip_time, marginal):
+    """One boundary-diffusion sweep toward equal per-chip *time*.
+
+    ``chip_time[c]`` is chip ``c``'s current time estimate and
+    ``marginal[c]`` its estimated time per unit of block weight; both
+    stay fixed within the sweep while ``chip_time`` is updated
+    incrementally as blocks move. Each adjacent pair shifts boundary
+    blocks from its hotter to its colder side, stopping before the
+    transferred time would exceed half the pair's gap (the SLT rule) and
+    never emptying the giver. Returns True when any block moved.
+    """
+    n_chips = chip_time.size
+    moved_any = False
+    for left in range(n_chips - 1):
+        gap = chip_time[left] - chip_time[left + 1]
+        target = abs(gap) / 2.0
+        if gap > 0:
+            # Left chip hotter: shift its tail blocks rightward.
+            shifted, acc = 0, 0.0
+            while bounds[left + 1] - 1 - shifted > bounds[left]:
+                w = float(weights[bounds[left + 1] - 1 - shifted])
+                dt = w * marginal[left]
+                if acc + dt > target:
+                    break
+                acc += dt
+                shifted += 1
+                chip_time[left] -= w * marginal[left]
+                chip_time[left + 1] += w * marginal[left + 1]
+            if shifted:
+                bounds[left + 1] -= shifted
+                moved_any = True
+        elif gap < 0:
+            shifted, acc = 0, 0.0
+            while bounds[left + 1] + shifted < bounds[left + 2] - 1:
+                w = float(weights[bounds[left + 1] + shifted])
+                dt = w * marginal[left + 1]
+                if acc + dt > target:
+                    break
+                acc += dt
+                shifted += 1
+                chip_time[left + 1] -= w * marginal[left + 1]
+                chip_time[left] += w * marginal[left]
+            if shifted:
+                bounds[left + 1] += shifted
+                moved_any = True
+    return moved_any
+
+
+def rebalance_plan(plan, row_nnz, cluster, *, capacities=None):
+    """Run the chip-level Eq. 5 load-signal controller; ``(plan, info)``.
 
     Blocks play the role of rows, chips the role of PEs, and the
-    per-chip load (sum of owned blocks' nnz — what the chip-level PESM
-    counts in its task queues) is the utilization signal. Each round
-    sweeps the chip chain: every adjacent pair whose loads differ
-    shifts boundary blocks from the hotter to the colder side, taking
-    blocks greedily until the transferred weight would exceed half the
-    pair's gap — the intra-chip Shuffling-Lookup-Table rule
-    (``work_target = gap / 2``) applied to block migration. The sweep
-    repeats until the cluster-wide load gap stops improving for
+    per-chip capacity-normalized load (sum of owned blocks' nnz divided
+    by the chip's relative throughput — what the chip-level PESM counts
+    in its task queues, measured in time) is the utilization signal.
+    Each round sweeps the chip chain: every adjacent pair whose time
+    estimates differ shifts boundary blocks from the hotter to the
+    colder side, taking blocks greedily until the transferred time would
+    exceed half the pair's gap — the intra-chip Shuffling-Lookup-Table
+    rule (``work_target = gap / 2``) applied to block migration. The
+    sweep repeats until the cluster-wide time gap stops improving for
     ``rebalance_patience`` rounds (or ``max_rebalance_rounds``); like
     the intra-chip tuner's freeze, the best map seen is restored.
+
+    ``capacities`` defaults to the cluster's own
+    (:meth:`ClusterConfig.capacities`); a homogeneous cluster reduces
+    bit-for-bit to the PR 4 unnormalized controller.
 
     Requires a contiguous plan (``owner`` sorted in runs, as both
     :func:`~repro.cluster.partition.make_plan` strategies produce):
     boundary diffusion is what keeps shards contiguous and halos small.
     """
-    if not isinstance(plan, ShardPlan):
-        raise ConfigError(
-            f"plan must be ShardPlan, got {type(plan).__name__}"
-        )
+    _check_rebalance_inputs(plan, cluster)
     weights = plan.block_weights(row_nnz)
+    if capacities is None:
+        capacities = cluster.capacities()
+    else:
+        capacities = check_capacities(capacities, plan.n_chips)
+    uniform = bool(np.all(capacities == 1.0))
     if plan.n_chips == 1 or plan.n_blocks <= plan.n_chips:
-        return plan, RebalanceInfo(
-            rounds=0, converged_round=None, migrated_blocks=0,
-            migrated_nnz=0, gap_history=(),
-        )
-    if np.any(np.diff(plan.owner) < 0):
-        raise ConfigError(
-            "rebalance_plan requires a contiguous plan (owner sorted "
-            "in chip-id runs)"
-        )
+        return plan, _noop_info()
+    bounds = _plan_bounds(plan)
     n_chips = plan.n_chips
-    # bounds[c]..bounds[c+1] delimit chip c's contiguous block run.
-    counts = np.bincount(plan.owner, minlength=n_chips)
-    bounds = np.concatenate(([0], np.cumsum(counts)))
+    marginal = 1.0 / capacities
 
-    def chip_loads(b):
-        return np.add.reduceat(weights, b[:-1])
+    def chip_times(b):
+        return np.add.reduceat(weights, b[:-1]).astype(np.float64) * marginal
 
-    loads = chip_loads(bounds)
-    gap_history = [int(loads.max() - loads.min())]
+    def gap_of(times):
+        gap = float(times.max() - times.min())
+        return int(gap) if uniform else gap
+
+    times = chip_times(bounds)
+    gap_history = [gap_of(times)]
     best_bounds = bounds.copy()
-    best_max = int(loads.max())
+    best_max = float(times.max())
     stall = 0
     rounds = 0
     converged_round = None
     while rounds < cluster.max_rebalance_rounds:
-        moved_any = False
-        for left in range(n_chips - 1):
-            gap = float(
-                weights[bounds[left]:bounds[left + 1]].sum()
-                - weights[bounds[left + 1]:bounds[left + 2]].sum()
-            )
-            target = abs(gap) / 2.0
-            if gap > 0:
-                # Left chip hotter: shift its tail blocks rightward,
-                # stopping before the transfer would overshoot gap/2
-                # (and never emptying the giver).
-                shifted, acc = 0, 0.0
-                while bounds[left + 1] - 1 - shifted > bounds[left]:
-                    w = float(weights[bounds[left + 1] - 1 - shifted])
-                    if acc + w > target:
-                        break
-                    acc += w
-                    shifted += 1
-                if shifted:
-                    bounds[left + 1] -= shifted
-                    moved_any = True
-            elif gap < 0:
-                shifted, acc = 0, 0.0
-                while bounds[left + 1] + shifted < bounds[left + 2] - 1:
-                    w = float(weights[bounds[left + 1] + shifted])
-                    if acc + w > target:
-                        break
-                    acc += w
-                    shifted += 1
-                if shifted:
-                    bounds[left + 1] += shifted
-                    moved_any = True
-        loads = chip_loads(bounds)
-        gap_history.append(int(loads.max() - loads.min()))
+        moved_any = _diffuse_pairs(bounds, weights, chip_times(bounds),
+                                   marginal)
+        times = chip_times(bounds)
+        gap_history.append(gap_of(times))
         rounds += 1
-        if int(loads.max()) < best_max:
-            best_max = int(loads.max())
+        if float(times.max()) < best_max:
+            best_max = float(times.max())
             best_bounds = bounds.copy()
             stall = 0
         else:
@@ -248,10 +453,36 @@ def rebalance_plan(plan, row_nnz, cluster):
         migrated_blocks=int(moved.sum()),
         migrated_nnz=int(weights[moved].sum()),
         gap_history=tuple(gap_history),
+        signal="load",
     )
     if not info.migrated:
         return plan, info
     return plan.with_owner(new_owner), info
+
+
+def _migration_cycles(cluster, old_plan, new_plan, weights):
+    """Fabric cycles to ship rebalanced blocks to their new chips.
+
+    Migrations happen before steady-state execution; the conservative
+    model serializes the whole burst over one link (the PR 4 price) and
+    adds the fabric's per-hop latency for the farthest moved block.
+    """
+    moved = new_plan.owner != old_plan.owner
+    if not moved.any():
+        return 0
+    fabric = cluster.fabric
+    words = float(weights[moved].sum()) * cluster.migration_words_per_nnz
+    # One serialized burst priced by the fabric (its bandwidth, not the
+    # config field — a prebuilt Topology carries its own), over the
+    # farthest moved block's route.
+    src, dst = max(
+        (
+            (int(old_plan.owner[b]), int(new_plan.owner[b]))
+            for b in np.flatnonzero(moved)
+        ),
+        key=lambda pair: fabric.hops(*pair),
+    )
+    return fabric.transfer_cycles(src, dst, words)
 
 
 @dataclass(frozen=True)
@@ -261,13 +492,14 @@ class ShardedSpmmResult:
     chip_results: tuple
     """Per-chip :class:`~repro.accel.cyclemodel.SpmmResult`."""
     comm_cycles: np.ndarray
-    """Per-chip halo-transfer cycles for this SpMM."""
+    """Per-chip halo-transfer cycles for this SpMM (fabric-priced)."""
     total_cycles: int
-    """Barrier-synchronized cost: max over chips of compute + comm."""
+    """Barrier-synchronized cost: max over chips of compute + comm,
+    in reference-chip cycles."""
 
     @property
     def compute_cycles(self):
-        """Per-chip compute cycles (length ``n_chips``)."""
+        """Per-chip compute cycles at each chip's own clock."""
         return np.asarray(
             [r.total_cycles for r in self.chip_results], dtype=np.int64
         )
@@ -277,10 +509,12 @@ def simulate_sharded_spmm(job, cluster, plan, *, adjacency=None):
     """Simulate one SpMM split row-wise across a cluster's chips.
 
     Each chip runs :func:`~repro.accel.cyclemodel.simulate_spmm` on the
-    job restricted to its rows. ``adjacency`` (the sparse operand's
-    structure) derives the halo transfer each chip must receive —
-    ``halo_rows x n_rounds`` words; omit it for feature-side ``X W``
-    jobs, whose operand rows are chip-local (zero communication).
+    job restricted to its rows, on its own
+    :class:`~repro.accel.ArchConfig`. ``adjacency`` (the sparse
+    operand's structure) derives the halo traffic each chip-pair
+    exchanges, priced over the cluster's fabric; omit it for
+    feature-side ``X W`` jobs, whose operand rows are chip-local (zero
+    communication).
     """
     if not isinstance(job, SpmmJob):
         raise ConfigError(f"job must be SpmmJob, got {type(job).__name__}")
@@ -289,11 +523,13 @@ def simulate_sharded_spmm(job, cluster, plan, *, adjacency=None):
             f"plan covers {plan.n_rows} rows but job has "
             f"{job.row_nnz.size}"
         )
-    halo_in = np.zeros(plan.n_chips, dtype=np.int64)
-    if adjacency is not None:
-        halo_in = halo_exchange(adjacency, plan).in_rows
-    chip_results = []
     comm = np.zeros(plan.n_chips, dtype=np.int64)
+    if adjacency is not None:
+        halo = halo_exchange(adjacency, plan)
+        comm = cluster.fabric.comm_cycles(
+            halo.words.astype(np.float64) * job.n_rounds
+        )
+    chip_results = []
     for chip in range(plan.n_chips):
         rows = plan.chip_rows(chip)
         shard_job = SpmmJob(
@@ -302,13 +538,11 @@ def simulate_sharded_spmm(job, cluster, plan, *, adjacency=None):
             n_rounds=job.n_rounds,
             tdq=job.tdq,
         )
-        chip_results.append(simulate_spmm(shard_job, cluster.chip))
-        comm[chip] = cluster.comm_cycles(
-            int(halo_in[chip]) * job.n_rounds
-        )
-    compute = np.asarray(
-        [r.total_cycles for r in chip_results], dtype=np.int64
-    )
+        chip_results.append(simulate_spmm(shard_job, cluster.chip_for(chip)))
+    compute = np.asarray([
+        cluster.ref_cycles(r.total_cycles, cluster.chip_for(c))
+        for c, r in enumerate(chip_results)
+    ], dtype=np.int64)
     return ShardedSpmmResult(
         chip_results=tuple(chip_results),
         comm_cycles=comm,
@@ -318,7 +552,12 @@ def simulate_sharded_spmm(job, cluster, plan, *, adjacency=None):
 
 @dataclass(frozen=True)
 class ClusterReport:
-    """End-to-end outcome of one sharded multi-chip GCN inference."""
+    """End-to-end outcome of one sharded multi-chip GCN inference.
+
+    All composed figures (``layer_cycles``, ``total_cycles``, the
+    per-layer cost arrays) are in *reference-chip* cycles; per-chip
+    raw figures (:attr:`compute_cycles`) stay at each chip's own clock.
+    """
 
     dataset: str
     cluster: ClusterConfig
@@ -329,11 +568,18 @@ class ClusterReport:
     layer_cycles: tuple
     """Barrier-to-barrier cycles per GCN layer (slowest chip + sync)."""
     comm_cycles_per_layer: np.ndarray
-    """Per-layer, per-chip halo-transfer cycles, shape
-    ``(n_layers, n_chips)``."""
+    """Per-layer, per-chip *serialized* halo-transfer cycles, shape
+    ``(n_layers, n_chips)`` (with overlap, part of this hides behind
+    compute — see :attr:`chip_costs_per_layer`)."""
     migration_cycles: int
     """One-time cost of shipping rebalanced blocks between chips."""
     total_cycles: int
+    chip_costs_per_layer: np.ndarray = None
+    """Per-layer, per-chip composed cost (compute with comm applied,
+    pre-barrier, reference cycles), shape ``(n_layers, n_chips)``."""
+    chip_compute_per_layer: np.ndarray = None
+    """Per-layer, per-chip compute in reference cycles, shape
+    ``(n_layers, n_chips)``."""
 
     @property
     def n_chips(self):
@@ -352,22 +598,26 @@ class ClusterReport:
 
     @property
     def compute_cycles(self):
-        """Per-chip end-to-end compute cycles (length ``n_chips``)."""
+        """Per-chip end-to-end compute cycles at each chip's own clock."""
         return np.asarray(
             [r.total_cycles for r in self.chip_reports], dtype=np.int64
         )
 
     @property
     def comm_cycles(self):
-        """Total halo + migration cycles on the critical path."""
-        per_layer = self.comm_cycles_per_layer
+        """Exposed halo + migration cycles on the critical path.
+
+        Per layer, the slowest chip's composed cost minus its compute:
+        with the serialized model that is its full halo transfer, with
+        overlap only the un-hidden part.
+        """
         critical = 0
-        for layer, cycles in enumerate(self.layer_cycles):
-            chip_compute = np.asarray([
-                r.layers[layer].pipelined_cycles for r in self.chip_reports
-            ])
-            slowest = int(np.argmax(chip_compute + per_layer[layer]))
-            critical += int(per_layer[layer][slowest])
+        for layer in range(len(self.layer_cycles)):
+            costs = self.chip_costs_per_layer[layer]
+            slowest = int(np.argmax(costs))
+            critical += int(
+                costs[slowest] - self.chip_compute_per_layer[layer][slowest]
+            )
         return critical + self.migration_cycles
 
     @property
@@ -377,21 +627,225 @@ class ClusterReport:
 
     @property
     def utilization(self):
-        """Cluster-wide PE busy fraction over the synchronized runtime."""
-        denom = self.n_chips * self.cluster.chip.n_pes * self.total_cycles
+        """Cluster-wide PE busy fraction over the synchronized runtime.
+
+        Heterogeneous chips weight their PE count by their clock ratio
+        (a PE at half the reference clock offers half the cycle slots
+        per reference cycle).
+        """
+        ref_freq = self.cluster.chip.frequency_mhz
+        effective_pes = sum(
+            cfg.n_pes * cfg.frequency_mhz / ref_freq
+            for cfg in self.cluster.chip_configs
+        )
+        denom = effective_pes * self.total_cycles
         return self.total_work / denom if denom else 0.0
 
     @property
     def compute_imbalance(self):
-        """Slowest chip's compute over the mean (1.0 = perfectly even)."""
-        compute = self.compute_cycles
+        """Slowest chip's compute time over the mean (1.0 = even)."""
+        compute = self.chip_compute_per_layer.sum(axis=0)
         mean = compute.mean()
         return float(compute.max() / mean) if mean else 1.0
 
     @property
     def latency_ms(self):
-        """Inference latency in milliseconds at the chip clock."""
+        """Inference latency in milliseconds at the reference clock."""
         return self.cluster.chip.cycles_to_ms(self.total_cycles)
+
+
+def _compose_layers(cluster, plan, layers, chip_reports, adjacency, a_hops):
+    """Fold per-chip layer timings + fabric halo pricing into layer costs.
+
+    Returns ``(layer_cycles, comm_serial, chip_costs, chip_compute)``:
+    per-layer barrier-inclusive costs, the serialized per-chip comm
+    matrix, the composed per-chip per-layer costs (pre-barrier) and the
+    reference-clock per-chip compute matrix.
+    """
+    n_layers = len(layers)
+    n_chips = cluster.n_chips
+    halo = halo_exchange(adjacency, plan) if n_chips > 1 else None
+    fabric = cluster.fabric
+
+    comm_serial = np.zeros((n_layers, n_chips), dtype=np.int64)
+    comm_round = np.zeros(n_chips, dtype=np.int64)
+    if halo is not None:
+        halo_words = halo.words.astype(np.float64)
+        if cluster.overlap:
+            # The exposed tail: one dense column's halo (the first
+            # double-buffer fill, which nothing can hide behind).
+            comm_round = fabric.comm_cycles(halo_words)
+
+    chip_compute = np.zeros((n_layers, n_chips), dtype=np.int64)
+    chip_costs = np.zeros((n_layers, n_chips), dtype=np.int64)
+    layer_cycles = []
+    for layer in range(n_layers):
+        rounds = layers[layer][0].n_rounds
+        if halo is not None:
+            comm_serial[layer] = fabric.comm_cycles(
+                halo_words * (rounds * a_hops)
+            )
+        for chip in range(n_chips):
+            chip_compute[layer, chip] = cluster.ref_cycles(
+                chip_reports[chip].layers[layer].pipelined_cycles,
+                cluster.chip_for(chip),
+            )
+        if cluster.overlap:
+            # Double-buffer composition: the first buffer fill (one
+            # dense column's halo) is exposed, then compute overlaps
+            # the *remaining* transfer. Never exceeds the serialized
+            # compute + comm: the exposed round is part of the total,
+            # not added on top of it.
+            chip_costs[layer] = comm_round + np.maximum(
+                chip_compute[layer], comm_serial[layer] - comm_round
+            )
+        else:
+            chip_costs[layer] = chip_compute[layer] + comm_serial[layer]
+        cost = int(chip_costs[layer].max())
+        if n_chips > 1:
+            cost += cluster.barrier_cycles
+        layer_cycles.append(cost)
+    return layer_cycles, comm_serial, chip_costs, chip_compute
+
+
+def _run_chips(dataset, cluster, plan, layers, cache, name):
+    """One single-chip simulation per chip over its sliced jobs."""
+    chip_reports = []
+    for chip in range(cluster.n_chips):
+        rows = plan.chip_rows(chip)
+        accel = GcnAccelerator.from_jobs(
+            slice_jobs(layers, rows, suffix=f"@{name}/chip{chip}"),
+            cluster.chip_for(chip),
+            name=f"{name}/chip{chip}",
+        )
+        chip_reports.append(accel.run(cache=cache))
+    return chip_reports
+
+
+class _ExplorationCache:
+    """Read-through view of a shared autotune cache for plan search.
+
+    Lookups consult the private layer first, then the shared cache;
+    stores only ever touch the private layer. The feedback controller
+    simulates many candidate plans it will discard — their tuning
+    entries must not evict live entries from a bounded shared cache,
+    but shards already cached by previous requests should still replay.
+    """
+
+    def __init__(self, shared):
+        from repro.serve.cache import AutotuneCache
+
+        self._own = AutotuneCache()
+        self._shared = shared
+
+    def lookup(self, fingerprint, config):
+        entry = self._own.lookup(fingerprint, config)
+        if entry is None and self._shared is not None:
+            entry = self._shared.lookup(fingerprint, config)
+        return entry
+
+    def store(self, fingerprint, config, entry):
+        self._own.store(fingerprint, config, entry)
+
+
+def _feedback_rebalance(dataset, cluster, plan, layers, cache, name,
+                        row_nnz, a_hops):
+    """Cycle-feedback rebalancing: migrate on measured per-chip cycles.
+
+    Round 0 starts from the load-signal plan — before anything has run
+    there is no measurement, so the static signal is all the controller
+    has (and the best-map restore below therefore can never end up
+    *worse* than load-signal rebalancing). Every subsequent round
+    simulates the chips under the current plan, measures their
+    reference-clock compute time, and runs one boundary-diffusion sweep
+    on the measured signal (each chip's marginal cost per nnz is its
+    measured time over its load — the linearization the next sweep
+    migrates against). The plan whose end-to-end total (compute + halo
+    + barrier + the migration burst from the initial plan) is lowest is
+    kept — feedback sees communication and migration pricing, so a
+    move that balances compute but inflates halos or ships too many
+    blocks is rejected by the best-plan restore. Freezes early after
+    ``rebalance_patience`` rounds without improvement, like the
+    intra-chip tuner.
+
+    Cache discipline: exploration rounds run against a read-through
+    wrapper — lookups fall back to the caller's shared cache (a repeat
+    request replays its previously-cached shards instead of
+    re-simulating), but stores land in a private throwaway layer, so a
+    bounded serving cache never has live entries evicted by tuning
+    state of plans the controller discarded. Only the winning plan is
+    run against the shared cache itself.
+
+    Returns ``(plan, info, chip_reports, composed)`` with the winning
+    plan's reports and composition run against the caller's cache.
+    """
+    weights = plan.block_weights(row_nnz)
+    initial = plan
+    plan, _load_info = rebalance_plan(plan, row_nnz, cluster)
+    bounds = _plan_bounds(plan)
+    explore_cache = _ExplorationCache(cache)
+
+    best = None  # (total, plan, reports, composed)
+    gap_history = []
+    rounds = 0
+    converged_round = None
+    stall = 0
+    current = plan
+    while True:
+        reports = _run_chips(dataset, cluster, current, layers,
+                             explore_cache, name)
+        composed = _compose_layers(
+            cluster, current, layers, reports, dataset.adjacency, a_hops
+        )
+        _cycles, _comm, _costs, chip_compute = composed
+        measured = chip_compute.sum(axis=0).astype(np.float64)
+        gap_history.append(int(measured.max() - measured.min()))
+        total = sum(composed[0]) + _migration_cycles(
+            cluster, initial, current, weights
+        )
+        if best is None or total < best[0]:
+            best = (total, current, reports, composed)
+            stall = 0
+        else:
+            stall += 1
+            if stall >= cluster.rebalance_patience:
+                converged_round = rounds
+                break
+        if rounds >= cluster.feedback_rounds:
+            break
+        loads = np.add.reduceat(weights, bounds[:-1]).astype(np.float64)
+        marginal = measured / np.maximum(loads, 1.0)
+        moved = _diffuse_pairs(bounds, weights, measured.copy(), marginal)
+        if not moved:
+            converged_round = rounds
+            break
+        rounds += 1
+        current = plan.with_owner(np.repeat(
+            np.arange(cluster.n_chips, dtype=np.int64), np.diff(bounds)
+        ))
+
+    _total, best_plan, best_reports, best_composed = best
+    if cache is not None:
+        # Replay the winner against the caller's cache: stores (or
+        # hits) only the surviving plan's tuning entries, and the
+        # returned reports carry the caller-visible cache_hit flags.
+        best_reports = _run_chips(
+            dataset, cluster, best_plan, layers, cache, name
+        )
+        best_composed = _compose_layers(
+            cluster, best_plan, layers, best_reports, dataset.adjacency,
+            a_hops,
+        )
+    moved = best_plan.owner != initial.owner
+    info = RebalanceInfo(
+        rounds=rounds,
+        converged_round=converged_round,
+        migrated_blocks=int(moved.sum()),
+        migrated_nnz=int(weights[moved].sum()),
+        gap_history=tuple(gap_history),
+        signal="cycles",
+    )
+    return best_plan, info, best_reports, best_composed
 
 
 def simulate_multichip_gcn(dataset, cluster, *, a_hops=1, cache=None,
@@ -399,13 +853,17 @@ def simulate_multichip_gcn(dataset, cluster, *, a_hops=1, cache=None,
     """Simulate a full sharded 2-layer GCN inference on a cluster.
 
     Partitions ``dataset`` (or adopts a caller-supplied ``plan``),
-    optionally rebalances it at chip level, runs every chip's sliced
-    jobs through the single-chip pipeline, and composes layers with the
-    halo/barrier model. ``cache`` is an optional
-    :class:`~repro.serve.AutotuneCache` shared across chips — entries
-    are keyed per shard (each chip's sliced jobs hash to their own
-    fingerprint), so repeat sharded requests replay through the frozen
-    fast path chip by chip.
+    optionally rebalances it at chip level — on the static load signal
+    or, with ``rebalance_signal="cycles"``, on measured per-chip cycles
+    fed back round by round — runs every chip's sliced jobs through the
+    single-chip pipeline at that chip's own :class:`ArchConfig`, and
+    composes layers with the fabric-routed halo model (serialized or
+    double-buffered, see :class:`ClusterConfig`). ``cache`` is an
+    optional :class:`~repro.serve.AutotuneCache` shared across chips —
+    entries are keyed per shard and per chip config (each chip's sliced
+    jobs hash to their own fingerprint, and the chip's ArchConfig is
+    part of the key), so repeat sharded requests replay through the
+    frozen fast path chip by chip even on heterogeneous clusters.
     """
     if not isinstance(cluster, ClusterConfig):
         raise ConfigError(
@@ -415,10 +873,11 @@ def simulate_multichip_gcn(dataset, cluster, *, a_hops=1, cache=None,
         a_row_nnz = dataset.adjacency_row_nnz()
     else:
         a_row_nnz = dataset.adjacency.row_nnz()
+    capacities = cluster.capacities()
     if plan is None:
         plan = make_plan(
             a_row_nnz, cluster.n_chips, strategy=cluster.strategy,
-            blocks_per_chip=cluster.blocks_per_chip,
+            blocks_per_chip=cluster.blocks_per_chip, capacities=capacities,
         )
     elif plan.n_rows != dataset.n_nodes or plan.n_chips != cluster.n_chips:
         raise ConfigError(
@@ -426,54 +885,43 @@ def simulate_multichip_gcn(dataset, cluster, *, a_hops=1, cache=None,
             f"({dataset.n_nodes} nodes) / cluster ({cluster.n_chips} chips)"
         )
 
-    migration_cycles = 0
-    if cluster.rebalance:
-        plan, info = rebalance_plan(plan, a_row_nnz, cluster)
-        migration_cycles = cluster.comm_cycles(
-            info.migrated_nnz * cluster.migration_words_per_nnz
-        )
-    else:
-        info = RebalanceInfo(
-            rounds=0, converged_round=None, migrated_blocks=0,
-            migrated_nnz=0, gap_history=(),
-        )
-
-    halo = (
-        halo_exchange(dataset.adjacency, plan)
-        if cluster.n_chips > 1
-        else None
-    )
     layers = build_spmm_jobs(dataset, a_hops=a_hops)
     name = getattr(dataset, "name", "custom")
-    chip_reports = []
-    for chip in range(cluster.n_chips):
-        rows = plan.chip_rows(chip)
-        accel = GcnAccelerator.from_jobs(
-            slice_jobs(layers, rows, suffix=f"@{name}/chip{chip}"),
-            cluster.chip,
-            name=f"{name}/chip{chip}",
-        )
-        chip_reports.append(accel.run(cache=cache))
+    initial_plan = plan
 
-    n_layers = len(layers)
-    comm = np.zeros((n_layers, cluster.n_chips), dtype=np.int64)
-    layer_cycles = []
-    total = migration_cycles
-    for layer in range(n_layers):
-        rounds = layers[layer][0].n_rounds
-        if halo is not None:
-            for chip in range(cluster.n_chips):
-                comm[layer, chip] = cluster.comm_cycles(
-                    int(halo.in_rows[chip]) * rounds * a_hops
-                )
-        chip_compute = np.asarray([
-            r.layers[layer].pipelined_cycles for r in chip_reports
-        ], dtype=np.int64)
-        cost = int((chip_compute + comm[layer]).max())
-        if cluster.n_chips > 1:
-            cost += cluster.barrier_cycles
-        layer_cycles.append(cost)
-        total += cost
+    feedback = (
+        cluster.rebalance
+        and cluster.rebalance_signal == "cycles"
+        and cluster.n_chips > 1
+        and plan.n_blocks > cluster.n_chips
+    )
+    if feedback:
+        plan, info, chip_reports, composed = _feedback_rebalance(
+            dataset, cluster, plan, layers, cache, name, a_row_nnz, a_hops
+        )
+    else:
+        if cluster.rebalance:
+            plan, info = rebalance_plan(
+                plan, a_row_nnz, cluster, capacities=capacities
+            )
+            if cluster.rebalance_signal != info.signal:
+                # The feedback gate was closed (single chip, or no
+                # spare blocks to migrate) and the load controller ran
+                # its no-op path; report the configured signal rather
+                # than contradicting the cluster config.
+                info = replace(info, signal=cluster.rebalance_signal)
+        else:
+            info = _noop_info(cluster.rebalance_signal)
+        chip_reports = _run_chips(dataset, cluster, plan, layers, cache, name)
+        composed = _compose_layers(
+            cluster, plan, layers, chip_reports, dataset.adjacency, a_hops
+        )
+
+    migration_cycles = _migration_cycles(
+        cluster, initial_plan, plan, initial_plan.block_weights(a_row_nnz)
+    )
+    layer_cycles, comm_serial, chip_costs, chip_compute = composed
+    total = migration_cycles + sum(layer_cycles)
 
     return ClusterReport(
         dataset=name,
@@ -482,7 +930,9 @@ def simulate_multichip_gcn(dataset, cluster, *, a_hops=1, cache=None,
         rebalance=info,
         chip_reports=tuple(chip_reports),
         layer_cycles=tuple(layer_cycles),
-        comm_cycles_per_layer=comm,
+        comm_cycles_per_layer=comm_serial,
         migration_cycles=int(migration_cycles),
         total_cycles=int(total),
+        chip_costs_per_layer=chip_costs,
+        chip_compute_per_layer=chip_compute,
     )

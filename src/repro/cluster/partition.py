@@ -150,7 +150,33 @@ class ShardPlan:
         )
 
 
-def make_plan(row_nnz, n_chips, *, strategy="nnz", blocks_per_chip=8):
+def check_capacities(capacities, n_chips):
+    """Validate a per-chip relative-capacity vector; None -> all ones.
+
+    Capacities are relative compute throughputs (work per unit time);
+    only their ratios matter. A uniform vector is normalized to exact
+    ones so the capacity-aware paths reduce bit-for-bit to the
+    homogeneous arithmetic.
+    """
+    if capacities is None:
+        return np.ones(n_chips, dtype=np.float64)
+    capacities = np.asarray(capacities, dtype=np.float64)
+    if capacities.shape != (n_chips,):
+        raise ConfigError(
+            f"capacities must have one entry per chip ({n_chips}), "
+            f"got shape {capacities.shape}"
+        )
+    if not np.all(np.isfinite(capacities)) or np.any(capacities <= 0):
+        raise ConfigError(
+            f"capacities must be finite and > 0, got {capacities}"
+        )
+    if np.all(capacities == capacities[0]):
+        return np.ones(n_chips, dtype=np.float64)
+    return capacities
+
+
+def make_plan(row_nnz, n_chips, *, strategy="nnz", blocks_per_chip=8,
+              capacities=None):
     """Partition ``n_rows`` rows across ``n_chips`` chips.
 
     ``row_nnz`` is the per-row work profile (the adjacency row-nnz for
@@ -160,16 +186,22 @@ def make_plan(row_nnz, n_chips, *, strategy="nnz", blocks_per_chip=8):
 
     * ``"rows"`` — each chip takes an equal count of consecutive blocks;
     * ``"nnz"``  — a greedy sweep assigns consecutive blocks until the
-      chip's cumulative nnz reaches the equal-share target, always
-      leaving enough blocks for the remaining chips.
+      chip's cumulative nnz reaches its *capacity share* of the total
+      (equal shares when chips are identical), always leaving enough
+      blocks for the remaining chips.
 
-    Both strategies produce identical block boundaries, so their cycle
-    outcomes differ only through the assignment — which is what the
-    shard-bench comparison isolates.
+    ``capacities`` are the chips' relative compute throughputs (see
+    :func:`check_capacities`); the ``"nnz"`` strategy targets equal
+    *time* — a chip twice as fast takes twice the non-zeros — while
+    ``"rows"`` stays the capacity-blind naive baseline. Both strategies
+    produce identical block boundaries, so their cycle outcomes differ
+    only through the assignment — which is what the shard-bench
+    comparison isolates.
     """
     row_nnz = check_1d_int_array(row_nnz, "row_nnz")
     n_chips = check_positive_int(n_chips, "n_chips")
     check_positive_int(blocks_per_chip, "blocks_per_chip")
+    capacities = check_capacities(capacities, n_chips)
     n_rows = row_nnz.size
     if n_rows < n_chips:
         raise ConfigError(
@@ -181,6 +213,11 @@ def make_plan(row_nnz, n_chips, *, strategy="nnz", blocks_per_chip=8):
             f"got {strategy!r}"
         )
     n_blocks = min(n_chips * blocks_per_chip, n_rows)
+    if n_blocks < n_chips:
+        raise ConfigError(
+            f"shard count {n_chips} exceeds the block count {n_blocks}: "
+            "every chip needs at least one block"
+        )
     bounds = np.floor(
         np.arange(n_blocks + 1) * (n_rows / n_blocks)
     ).astype(np.int64)
@@ -191,11 +228,15 @@ def make_plan(row_nnz, n_chips, *, strategy="nnz", blocks_per_chip=8):
     else:
         weights = np.add.reduceat(row_nnz, bounds[:-1]).astype(np.float64)
         total = float(weights.sum())
+        # Cumulative capacity shares: uniform capacities give the exact
+        # (chip + 1) / n_chips fractions of the homogeneous sweep.
+        cum_cap = np.cumsum(capacities)
+        cap_total = float(cum_cap[-1])
         owner = np.empty(n_blocks, dtype=np.int64)
         cum = 0.0
         block = 0
         for chip in range(n_chips):
-            target = total * (chip + 1) / n_chips
+            target = total * float(cum_cap[chip]) / cap_total
             start = block
             # Leave one block per remaining chip; take at least one.
             ceiling = n_blocks - (n_chips - chip - 1)

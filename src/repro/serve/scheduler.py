@@ -390,6 +390,17 @@ class StreamingScheduler:
             self._ready, (deadline, items[0].seq, key, tuple(items))
         )
 
+    def peek_ready(self):
+        """The EDF-first ready batch's member tuple, without dispatching.
+
+        Lets the service inspect what :meth:`pop_ready` would hand out
+        (e.g. the largest member graph, for capacity-aware instance
+        placement) before committing to a dispatch.
+        """
+        if not self._ready:
+            raise ConfigError("peek_ready on an empty ready queue")
+        return self._ready[0][3]
+
     def pop_ready(self):
         """Remove and return the EDF-first ready :class:`Batch`.
 

@@ -238,19 +238,41 @@ class InferenceService:
         before service starts). Default 0 models free switching — the
         historical behavior, which flatters small batches.
     chip_capacity:
-        Per-instance node-count capacity. A request whose graph
-        exceeds it is planned as a *sharded job*: the graph is
-        partitioned across ``ceil(n_nodes / chip_capacity)`` instances
-        (clamped to the pool size) and executed through the
-        :mod:`repro.cluster` multi-chip model, occupying all
+        Per-instance node-count capacity: one int for a uniform pool,
+        or a sequence of ``n_workers`` ints for a heterogeneous one. A
+        request whose graph exceeds the pool's largest capacity is
+        planned as a *sharded job*: it gang-schedules the smallest
+        index-ordered set of free instances whose capacities cover the
+        graph (``ceil(n_nodes / chip_capacity)`` instances in the
+        uniform case, clamped to the pool size; instances whose
+        *expected* capacity-proportional share would overflow are left
+        out of the gang — note the expectation is a provisioning
+        estimate, the partitioner's actual nnz-balanced shards can
+        deviate on skewed graphs) and executes through
+        the :mod:`repro.cluster` multi-chip model, occupying all
         participating instances for the sharded duration; the shared
         ``AutotuneCache`` is keyed per shard. None (default) disables
         sharding — oversized graphs run single-instance as before.
+        Sharded jobs dispatch earliest-deadline-first with
+        oldest-arrival tie-break, which degenerates to FIFO when no
+        request carries an ``slo_ms``.
     cluster_options:
         Optional dict of :class:`~repro.cluster.ClusterConfig`
         overrides for sharded jobs (e.g. ``link_words_per_cycle``,
-        ``strategy``); ``n_chips`` and ``chip`` are always derived from
-        the job itself.
+        ``topology``, ``overlap``, ``rebalance_signal``); ``n_chips``,
+        ``chip`` and ``chips`` are always derived from the job itself.
+    worker_configs:
+        Optional per-instance :class:`~repro.accel.ArchConfig` sequence
+        (length ``n_workers``) describing a heterogeneous hardware
+        pool. Sharded jobs then run on the *participating instances'
+        own configs* — a :class:`~repro.cluster.ClusterConfig` with one
+        ``chips`` entry per gang member — instead of replicating the
+        request's config, and the capacity-normalized cluster
+        partitioner spreads the graph accordingly. None (default)
+        models the historical uniform pool. Single-instance batches
+        still simulate at the request's config (the request defines the
+        workload's target architecture; sharding is where the pool's
+        physical heterogeneity binds).
 
     Units
     -----
@@ -283,7 +305,8 @@ class InferenceService:
 
     def __init__(self, *, n_workers=2, cache=True, max_batch=None,
                  max_wait=None, shed_expired=False, reconfig_cycles=0,
-                 chip_capacity=None, cluster_options=None):
+                 chip_capacity=None, cluster_options=None,
+                 worker_configs=None):
         check_positive_int(n_workers, "n_workers")
         if cache is True:
             cache = AutotuneCache()
@@ -301,10 +324,40 @@ class InferenceService:
             reconfig_cycles, "reconfig_cycles"
         )
         if chip_capacity is not None:
-            chip_capacity = check_positive_int(chip_capacity, "chip_capacity")
+            if isinstance(chip_capacity, (list, tuple)):
+                caps = tuple(
+                    check_positive_int(cap, "chip_capacity")
+                    for cap in chip_capacity
+                )
+                if len(caps) != n_workers:
+                    raise ConfigError(
+                        f"chip_capacity must have one entry per worker "
+                        f"({n_workers}), got {len(caps)}"
+                    )
+                chip_capacity = caps
+            else:
+                chip_capacity = check_positive_int(
+                    chip_capacity, "chip_capacity"
+                )
         self.chip_capacity = chip_capacity
+        if worker_configs is not None:
+            worker_configs = tuple(worker_configs)
+            if len(worker_configs) != n_workers:
+                raise ConfigError(
+                    f"worker_configs must have one ArchConfig per worker "
+                    f"({n_workers}), got {len(worker_configs)}"
+                )
+            from repro.accel.config import ArchConfig
+
+            for cfg in worker_configs:
+                if not isinstance(cfg, ArchConfig):
+                    raise ConfigError(
+                        "worker_configs entries must be ArchConfig, got "
+                        f"{type(cfg).__name__}"
+                    )
+        self.worker_configs = worker_configs
         self.cluster_options = dict(cluster_options or {})
-        for reserved in ("n_chips", "chip"):
+        for reserved in ("n_chips", "chip", "chips"):
             if reserved in self.cluster_options:
                 raise ConfigError(
                     f"cluster_options may not override {reserved!r} "
@@ -381,25 +434,34 @@ class InferenceService:
             # Record anything admission control shed at the cuts above.
             for item, when in stream.take_shed():
                 results.append((item.seq, self._shed_result(item, when)))
-            # Sharded jobs dispatch first (FIFO) whenever enough
-            # instances are simultaneously idle; they gang-schedule the
-            # lowest-indexed free instances.
+            # Sharded jobs dispatch first, earliest deadline first with
+            # oldest-arrival tie-break (plain FIFO when nothing carries
+            # an SLO), whenever enough instances are simultaneously
+            # idle; they gang-schedule the lowest-indexed free
+            # instances whose capacities cover the graph. The EDF head
+            # never gets jumped: an undispatchable head blocks the
+            # sharded queue rather than starve behind smaller jobs.
             while sharded:
-                head = sharded[0]
+                head_at = self._sharded_head(sharded)
+                head = sharded[head_at]
                 if self.shed_expired and head.deadline < clock:
-                    sharded.pop(0)
+                    sharded.pop(head_at)
                     results.append((head.seq, self._shed_result(head, clock)))
                     continue
                 free = [w for w in self.workers if w.free_at <= clock]
-                needed = self._shard_count(head.request)
-                if len(free) < needed:
+                gang = self._shard_gang(free, head.request)
+                if gang is None:
                     break
-                sharded.pop(0)
-                self._serve_sharded(head, free[:needed], clock, results)
+                sharded.pop(head_at)
+                self._serve_sharded(head, gang, clock, results)
             # Hand sealed batches, tightest deadline first, to free
-            # instances (lowest index when several are free).
+            # instances (lowest index when several are free). With
+            # per-worker capacities, only an instance that fits the
+            # batch's largest graph qualifies — a small chip must not
+            # receive a graph its capacity says it cannot hold.
             while stream.ready:
-                worker = self._free_worker(clock)
+                needed = self._batch_nodes(stream.peek_ready())
+                worker = self._free_worker(clock, needed)
                 if worker is None:
                     break
                 self._serve_batch(stream.pop_ready(), worker, clock,
@@ -413,11 +475,14 @@ class InferenceService:
             if stream.pending:
                 horizon.append(stream.next_cut_time())
             if stream.ready:
-                horizon.append(min(w.free_at for w in self.workers))
+                needed = self._batch_nodes(stream.peek_ready())
+                horizon.append(min(
+                    w.free_at for w in self.workers
+                    if self._worker_fits(w.index, needed)
+                ))
             if sharded:
-                needed = self._shard_count(sharded[0].request)
-                frees = sorted(w.free_at for w in self.workers)
-                horizon.append(frees[needed - 1])
+                head = sharded[self._sharded_head(sharded)]
+                horizon.append(self._gang_ready_time(head.request))
             if not horizon:
                 break
             clock = max(clock, min(horizon))
@@ -433,24 +498,143 @@ class InferenceService:
             latency=LatencyStats.from_results(results),
         )
 
-    def _free_worker(self, clock):
-        """The lowest-indexed instance idle at ``clock``, or None."""
+    @staticmethod
+    def _batch_nodes(items):
+        """The largest member graph of a (peeked) batch, in nodes."""
+        return max(item.request.graph_nodes() for item in items)
+
+    def _worker_fits(self, index, nodes):
+        """Whether one instance's declared capacity covers ``nodes``.
+
+        Unconstrained without ``chip_capacity``; with a uniform
+        capacity every non-sharded request fits every instance, so the
+        check only bites on heterogeneous per-worker capacities.
+        """
+        if self.chip_capacity is None:
+            return True
+        return self._capacity_of(index) >= nodes
+
+    def _free_worker(self, clock, nodes=0):
+        """The lowest-indexed fitting instance idle at ``clock``, or None."""
         for worker in self.workers:
-            if worker.free_at <= clock:
+            if worker.free_at <= clock and self._worker_fits(worker.index,
+                                                             nodes):
                 return worker
         return None
 
-    def _needs_sharding(self, request):
-        """Whether a request's graph exceeds the per-chip capacity."""
-        return (
-            self.chip_capacity is not None
-            and request.graph_nodes() > self.chip_capacity
-        )
+    def _capacity_of(self, index):
+        """Node capacity of one instance (uniform or per-worker)."""
+        if isinstance(self.chip_capacity, tuple):
+            return self.chip_capacity[index]
+        return self.chip_capacity
 
-    def _shard_count(self, request):
-        """Instances a sharded request gang-schedules (pool-clamped)."""
-        needed = -(-request.graph_nodes() // self.chip_capacity)
-        return max(1, min(needed, len(self.workers)))
+    def _needs_sharding(self, request):
+        """Whether a request's graph exceeds every instance's capacity."""
+        if self.chip_capacity is None:
+            return False
+        largest = (
+            max(self.chip_capacity)
+            if isinstance(self.chip_capacity, tuple)
+            else self.chip_capacity
+        )
+        return request.graph_nodes() > largest
+
+    @staticmethod
+    def _sharded_head(sharded):
+        """Index of the EDF-first sharded job (oldest arrival on ties).
+
+        Deadlines are infinite without an SLO, so an SLO-less queue
+        degenerates to FIFO (lowest sequence number = index 0).
+        """
+        head = 0
+        for i in range(1, len(sharded)):
+            if (sharded[i].deadline, sharded[i].seq) < (
+                sharded[head].deadline, sharded[head].seq
+            ):
+                head = i
+        return head
+
+    def _compute_capacity_of(self, index):
+        """Relative compute throughput of one instance (gang split key)."""
+        if self.worker_configs is None:
+            return 1.0
+        cfg = self.worker_configs[index]
+        return cfg.n_pes * cfg.frequency_mhz
+
+    def _fit_gang(self, candidates, nodes):
+        """The covering gang inside ``candidates``, or None.
+
+        The cluster partitioner splits work in proportion to *compute*
+        capacity, so each member's *expected* share of the nodes must
+        fit its declared node capacity — a small chip is not
+        gang-scheduled next to a big one when even its proportional
+        share would overflow. Members whose expected share overflows
+        are pruned (their load redistributes) until the gang is
+        feasible or empty. Pruning depends only on the candidate *set*,
+        and a feasible gang survives pruning of any superset (shares
+        only shrink as members are added), so this finds a covering
+        gang iff the candidate set contains one. Uniform pools reduce
+        to the historical ``ceil(nodes / capacity)`` sizing exactly:
+        ``nodes / k <= capacity`` iff ``k * capacity >= nodes``, and
+        nothing is ever pruned.
+
+        The expected share is a provisioning estimate, as the uniform
+        ``chip_capacity`` always was: the partitioner balances *nnz*,
+        so on skewed graphs a chip's actual row count can exceed its
+        proportional share (hub rows concentrate nnz in few rows and
+        push row count onto the other chips). Hard per-chip row
+        ceilings belong in the cluster partitioner, not here.
+        """
+        gang = list(candidates)
+        while gang:
+            total = sum(
+                self._compute_capacity_of(w.index) for w in gang
+            )
+            kept = [
+                worker for worker in gang
+                if nodes * self._compute_capacity_of(worker.index) / total
+                <= self._capacity_of(worker.index)
+            ]
+            if len(kept) == len(gang):
+                return gang
+            gang = kept
+        return None
+
+    def _shard_gang(self, free, request):
+        """The gang of free instances a sharded request runs on.
+
+        The first index-ordered prefix of ``free`` containing a
+        feasible gang (:meth:`_fit_gang`) — ``ceil(nodes / capacity)``
+        instances in the uniform case. When even the whole pool holds
+        no feasible gang the job is pool-clamped onto every instance
+        (capacities become best-effort); otherwise an insufficient
+        *free* set returns None — the job waits for more instances to
+        idle.
+        """
+        nodes = request.graph_nodes()
+        for end in range(1, len(free) + 1):
+            gang = self._fit_gang(free[:end], nodes)
+            if gang:
+                return gang
+        if free and len(free) == len(self.workers):
+            return list(free)
+        return None
+
+    def _gang_ready_time(self, request):
+        """Earliest simulated second a feasible gang could assemble.
+
+        Scans instances in ``free_at`` order: at each instant the
+        candidate set is exactly the set :meth:`_shard_gang` will see,
+        and :meth:`_fit_gang` is order-independent, so the returned
+        time is one at which dispatch really succeeds — the event loop
+        never advances to a horizon that cannot make progress.
+        """
+        nodes = request.graph_nodes()
+        by_free = sorted(self.workers, key=lambda w: w.free_at)
+        for end in range(1, len(by_free) + 1):
+            if self._fit_gang(by_free[:end], nodes):
+                return by_free[end - 1].free_at
+        return by_free[-1].free_at
 
     def _shed_result(self, item, when):
         """The recorded outcome of a request shed at simulated ``when``."""
@@ -488,28 +672,49 @@ class InferenceService:
         All participating instances gang-schedule: service starts once
         every one of them is reconfigured (the slowest switch gates the
         start) and they stay busy until the synchronized sharded run
-        finishes. The shared autotune cache is passed down, so each
-        shard's tuning state is cached independently.
+        finishes. With ``worker_configs`` the cluster is built from the
+        gang members' own configs (a heterogeneous multi-chip job);
+        otherwise every chip replicates the request's config. The
+        shared autotune cache is passed down, so each shard's tuning
+        state is cached independently per chip config.
         """
         from repro.datasets.registry import dataset_fingerprint
 
         request = item.request
-        key = (request.config, request.a_hops)
-        start = max(
-            self._reconfigure(worker, key, request.config, clock)
-            for worker in workers
-        )
+        if self.worker_configs is not None:
+            start = max(
+                self._reconfigure(
+                    worker,
+                    (self.worker_configs[worker.index], request.a_hops),
+                    self.worker_configs[worker.index],
+                    clock,
+                )
+                for worker in workers
+            )
+            cluster = ClusterConfig(
+                n_chips=len(workers),
+                chips=tuple(
+                    self.worker_configs[worker.index] for worker in workers
+                ),
+                **self.cluster_options,
+            )
+        else:
+            key = (request.config, request.a_hops)
+            start = max(
+                self._reconfigure(worker, key, request.config, clock)
+                for worker in workers
+            )
+            cluster = ClusterConfig(
+                n_chips=len(workers), chip=request.config,
+                **self.cluster_options,
+            )
         dataset = request.resolve_graph()
         wall_started = time.perf_counter()
-        cluster = ClusterConfig(
-            n_chips=len(workers), chip=request.config,
-            **self.cluster_options,
-        )
         report = simulate_multichip_gcn(
             dataset, cluster, a_hops=request.a_hops, cache=self.cache
         )
         elapsed = time.perf_counter() - wall_started
-        service_seconds = request.config.cycles_to_seconds(
+        service_seconds = cluster.chip.cycles_to_seconds(
             report.total_cycles
         )
         finish = start + service_seconds
@@ -638,13 +843,14 @@ class InferenceService:
 
 def serve_requests(requests, *, n_workers=2, cache=True, max_batch=None,
                    max_wait=None, shed_expired=False, reconfig_cycles=0,
-                   chip_capacity=None, cluster_options=None):
+                   chip_capacity=None, cluster_options=None,
+                   worker_configs=None):
     """One-shot convenience: submit ``requests``, drain, return outcome."""
     service = InferenceService(
         n_workers=n_workers, cache=cache, max_batch=max_batch,
         max_wait=max_wait, shed_expired=shed_expired,
         reconfig_cycles=reconfig_cycles, chip_capacity=chip_capacity,
-        cluster_options=cluster_options,
+        cluster_options=cluster_options, worker_configs=worker_configs,
     )
     service.submit_many(requests)
     return service.drain()

@@ -29,6 +29,20 @@ def check_non_negative_int(value, name):
     return int(value)
 
 
+def check_positive_finite(value, name):
+    """Return ``value`` as ``float`` if it is a finite positive number."""
+    if isinstance(value, bool) or not isinstance(
+        value, (int, float, np.integer, np.floating)
+    ):
+        raise ConfigError(
+            f"{name} must be a number, got {type(value).__name__}"
+        )
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ConfigError(f"{name} must be finite and > 0, got {value}")
+    return value
+
+
 def check_fraction(value, name, *, inclusive_low=True, inclusive_high=True):
     """Return ``value`` as ``float`` if it lies in [0, 1] (bounds optional)."""
     try:

@@ -175,3 +175,82 @@ class TestGoldenShardedCycles:
         assert replay.cache_hit
         assert replay.total_cycles == SHARDED_GOLDEN["total_cycles"]
         assert replay.layer_cycles == SHARDED_GOLDEN["layer_cycles"]
+
+
+HETERO_CLUSTER = ClusterConfig(
+    n_chips=4,
+    chips=(
+        ArchConfig(n_pes=64, hop=1, remote_switching=True),
+        ArchConfig(n_pes=32, hop=1, remote_switching=True,
+                   frequency_mhz=220.0),
+        ArchConfig(n_pes=64, hop=1, remote_switching=True),
+        ArchConfig(n_pes=32, hop=1, remote_switching=True,
+                   frequency_mhz=220.0),
+    ),
+    link_words_per_cycle=8.0,
+    topology="ring",
+    hop_latency_cycles=8,
+    overlap=True,
+    rebalance_signal="cycles",
+)
+HETERO_GOLDEN = {
+    "total_cycles": 10533,
+    "layer_cycles": (7851, 2496),
+    "migration_cycles": 186,
+    "migrated_blocks": 1,
+    "utilization": 0.4883609845248268,
+    "per_chip_cycles": [8904, 5357, 7021, 6142],
+    "comm_cycles": 439,
+}
+
+
+class TestGoldenHeteroRingCycles:
+    """Pinned outcome for one heterogeneous ring-fabric overlapped config.
+
+    Exercises every new cluster-model layer at once: big/little chips at
+    different clocks (capacity-normalized partitioning plus
+    reference-clock composition), shortest-path ring routing with
+    per-hop latency and link contention, double-buffered halo overlap,
+    and cycle-feedback rebalancing. Any legitimate change to any of
+    those layers must update these numbers consciously, in the same
+    commit.
+    """
+
+    def _report(self, cache=None):
+        return simulate_multichip_gcn(
+            SHARDED_SPEC.build(), HETERO_CLUSTER, cache=cache
+        )
+
+    def test_total_and_layer_cycles_pinned(self):
+        report = self._report()
+        assert report.total_cycles == HETERO_GOLDEN["total_cycles"]
+        assert report.layer_cycles == HETERO_GOLDEN["layer_cycles"]
+
+    def test_rebalance_and_migration_pinned(self):
+        report = self._report()
+        assert report.migration_cycles == HETERO_GOLDEN["migration_cycles"]
+        assert (
+            report.rebalance.migrated_blocks
+            == HETERO_GOLDEN["migrated_blocks"]
+        )
+        assert report.rebalance.signal == "cycles"
+
+    def test_per_chip_and_comm_cycles_pinned(self):
+        report = self._report()
+        assert [
+            r.total_cycles for r in report.chip_reports
+        ] == HETERO_GOLDEN["per_chip_cycles"]
+        assert report.comm_cycles == HETERO_GOLDEN["comm_cycles"]
+
+    def test_utilization_pinned(self):
+        assert self._report().utilization == pytest.approx(
+            HETERO_GOLDEN["utilization"], abs=1e-12
+        )
+
+    def test_cache_replay_matches_golden(self):
+        cache = AutotuneCache()
+        self._report(cache=cache)
+        replay = self._report(cache=cache)
+        assert replay.cache_hit
+        assert replay.total_cycles == HETERO_GOLDEN["total_cycles"]
+        assert replay.layer_cycles == HETERO_GOLDEN["layer_cycles"]

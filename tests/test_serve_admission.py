@@ -218,6 +218,146 @@ class TestShardedDispatch:
         with pytest.raises(ConfigError):
             InferenceService(chip_capacity=64,
                              cluster_options={"n_chips": 3})
+        with pytest.raises(ConfigError):
+            InferenceService(chip_capacity=64,
+                             cluster_options={"chips": (CFG_A,)})
+
+    def test_topology_cluster_options_forwarded(self):
+        ring = serve_requests(
+            [_req(graph=BIG)], n_workers=4, chip_capacity=256,
+            cluster_options={"topology": "ring",
+                             "link_words_per_cycle": 2.0},
+        )
+        a2a = serve_requests(
+            [_req(graph=BIG)], n_workers=4, chip_capacity=256,
+            cluster_options={"link_words_per_cycle": 2.0},
+        )
+        assert ring.results[0].total_cycles > a2a.results[0].total_cycles
+
+
+class TestShardedQueueEdf:
+    def test_tight_deadline_jumps_fifo_order(self):
+        # Two sharded jobs queue while the pool is too busy to gang;
+        # the later-arriving tighter deadline dispatches first.
+        requests = [
+            _req(graph=BIG, arrival_time=0.0, slo_ms=500.0,
+                 request_id="loose"),
+            _req(graph=BIG, arrival_time=0.0, slo_ms=5.0,
+                 request_id="tight"),
+        ]
+        outcome = serve_requests(requests, n_workers=4, chip_capacity=256)
+        starts = {r.request_id: r.start_time for r in outcome.results}
+        assert starts["tight"] < starts["loose"]
+
+    def test_no_slo_stays_fifo(self):
+        requests = [
+            _req(graph=BIG, arrival_time=0.0, request_id=f"r{i}")
+            for i in range(3)
+        ]
+        outcome = serve_requests(requests, n_workers=4, chip_capacity=256)
+        starts = [r.start_time for r in outcome.results]
+        assert starts == sorted(starts)
+
+    def test_equal_deadlines_break_by_arrival(self):
+        requests = [
+            _req(graph=BIG, arrival_time=0.0, slo_ms=50.0,
+                 request_id="first"),
+            _req(graph=BIG, arrival_time=0.0, slo_ms=50.0,
+                 request_id="second"),
+        ]
+        outcome = serve_requests(requests, n_workers=4, chip_capacity=256)
+        starts = {r.request_id: r.start_time for r in outcome.results}
+        assert starts["first"] <= starts["second"]
+
+    def test_expired_edf_head_shed(self):
+        # The first job occupies the whole pool; the doomed job arrives
+        # while it runs and its microsecond deadline expires before any
+        # instance frees, so admission control sheds it at dispatch.
+        requests = [
+            _req(graph=BIG, arrival_time=0.0, request_id="first"),
+            _req(graph=BIG, arrival_time=1e-6, slo_ms=0.001,
+                 request_id="doomed"),
+            _req(graph=BIG, arrival_time=1e-6, request_id="fine"),
+        ]
+        outcome = serve_requests(
+            requests, n_workers=4, chip_capacity=256, shed_expired=True
+        )
+        by_id = {r.request_id: r for r in outcome.results}
+        assert by_id["doomed"].shed
+        assert not by_id["first"].shed
+        assert not by_id["fine"].shed
+
+
+class TestHeterogeneousPool:
+    def test_per_worker_capacity_sizes_the_gang(self):
+        # 1024 nodes over capacities [512, 256, 256, 512], equal
+        # compute: the partitioner splits work (hence rows, roughly)
+        # evenly, so every member's equal share must fit its declared
+        # capacity — 3 chips would hand ~341 nodes to a 256-capacity
+        # chip; 4 chips bring the share down to 256.
+        outcome = serve_requests(
+            [_req(graph=BIG)], n_workers=4,
+            chip_capacity=[512, 256, 256, 512],
+        )
+        assert outcome.results[0].n_shards == 4
+
+    def test_undersized_worker_pruned_from_gang(self):
+        # A free under-capacity worker must not poison the gang (or
+        # hang the event loop): the 40-node chip is pruned and the two
+        # 512-node chips serve the 1024-node graph without it.
+        outcome = serve_requests(
+            [_req(graph=BIG)], n_workers=4,
+            chip_capacity=[512, 40, 512, 512],
+        )
+        assert outcome.results[0].n_shards == 2
+        assert outcome.workers[1].batches_served == 0
+        assert outcome.workers[1].modeled_busy_seconds == 0.0
+
+    def test_fits_largest_chip_no_sharding(self):
+        outcome = serve_requests(
+            [_req(graph=SPEC)], n_workers=2, chip_capacity=[128, 256],
+        )
+        assert outcome.results[0].n_shards == 1  # 192 nodes <= 256
+
+    def test_worker_configs_build_hetero_cluster(self):
+        uniform = serve_requests(
+            [_req(graph=BIG, config=CFG_A)], n_workers=2,
+            chip_capacity=512,
+        )
+        hetero = serve_requests(
+            [_req(graph=BIG, config=CFG_A)], n_workers=2,
+            chip_capacity=512, worker_configs=[CFG_B, CFG_A],
+        )
+        assert uniform.results[0].n_shards == 2
+        assert hetero.results[0].n_shards == 2
+        # The hetero pool simulates on its own (bigger) chips, so the
+        # outcome differs from replicating the request config.
+        assert (
+            hetero.results[0].total_cycles
+            != uniform.results[0].total_cycles
+        )
+
+    def test_batches_avoid_undersized_instances(self):
+        # 192-node graphs fit the pool's big chip (no sharding) but
+        # exceed worker 0's declared 128-node capacity: every batch
+        # must land on worker 1 even while worker 0 idles.
+        requests = [_req(graph=SPEC) for _ in range(3)]
+        outcome = serve_requests(
+            requests, n_workers=2, chip_capacity=[128, 256],
+        )
+        assert all(r.n_shards == 1 for r in outcome.results)
+        assert {r.worker for r in outcome.results} == {1}
+        assert outcome.workers[0].requests_served == 0
+
+    def test_capacity_list_length_checked(self):
+        with pytest.raises(ConfigError):
+            InferenceService(n_workers=2, chip_capacity=[256])
+
+    def test_worker_configs_validated(self):
+        with pytest.raises(ConfigError):
+            InferenceService(n_workers=2, worker_configs=[CFG_A])
+        with pytest.raises(ConfigError):
+            InferenceService(n_workers=2, worker_configs=[CFG_A, "cfg"])
 
 
 class TestCacheRecencyPersistence:

@@ -23,6 +23,7 @@ from repro.analysis.shardscale import (
     compare_shard_scaling,
     compare_shard_topology,
 )
+from repro.analysis.straggler import compare_straggler
 from repro.analysis.heatmap import (
     heat_strip,
     rebalancing_heat_story,
@@ -50,6 +51,7 @@ __all__ = [
     "compare_rebalance",
     "compare_shard_scaling",
     "compare_shard_topology",
+    "compare_straggler",
     "rmat_pe_loads",
     "heat_strip",
     "rebalancing_heat_story",

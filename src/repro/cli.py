@@ -169,6 +169,17 @@ def build_parser():
     shard.add_argument("--feedback", action="store_true",
                        help="rebalance on measured per-chip cycles "
                             "instead of the static load signal")
+    shard.add_argument("--row-ceiling", type=int, default=None,
+                       metavar="ROWS",
+                       help="hard per-chip row ceiling: no chip may own "
+                            "more than ROWS rows, in planning or after "
+                            "migration (default: unconstrained)")
+    shard.add_argument("--straggler", action="append", default=None,
+                       metavar="CHIP:ONSET:FACTOR",
+                       help="inject a straggler: CHIP's compute slows by "
+                            "FACTOR from feedback round ONSET on "
+                            "(fractional onsets land mid-round); "
+                            "repeatable")
     shard.add_argument("--seed", type=int, default=7)
     shard.add_argument("--out", default=None, metavar="DIR",
                        help="also write rows as CSV under DIR")
@@ -204,6 +215,26 @@ def build_parser():
 def _parse_pe_counts(raw):
     """Parse a comma-separated --pe-counts value into a tuple of ints."""
     return tuple(int(x) for x in raw.split(",") if x.strip())
+
+
+def _parse_stragglers(specs, parser):
+    """Parse repeated ``--straggler CHIP:ONSET:FACTOR`` values."""
+    if not specs:
+        return None
+    events = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            parser.error(
+                f"--straggler expects CHIP:ONSET:FACTOR, got {spec!r}"
+            )
+        try:
+            events.append((int(parts[0]), float(parts[1]), float(parts[2])))
+        except ValueError:
+            parser.error(
+                f"--straggler expects CHIP:ONSET:FACTOR, got {spec!r}"
+            )
+    return tuple(events)
 
 
 def _dataset_list(args):
@@ -283,6 +314,8 @@ def main(argv=None):
             hetero=args.hetero,
             overlap=args.overlap,
             feedback=args.feedback,
+            row_ceiling=args.row_ceiling,
+            stragglers=_parse_stragglers(args.straggler, parser),
             seed=args.seed,
         )
         return _emit(args, "shard_scaling", rows, text)

@@ -40,6 +40,7 @@ from repro.cluster.partition import (
     HaloExchange,
     ShardPlan,
     check_capacities,
+    check_row_ceilings,
     halo_exchange,
     make_plan,
 )
@@ -59,6 +60,7 @@ from repro.cluster.multichip import (
     ClusterReport,
     RebalanceInfo,
     ShardedSpmmResult,
+    StragglerEvent,
     rebalance_plan,
     simulate_multichip_gcn,
     simulate_sharded_spmm,
@@ -72,6 +74,7 @@ __all__ = [
     "ShardPlan",
     "Topology",
     "check_capacities",
+    "check_row_ceilings",
     "halo_exchange",
     "make_plan",
     "make_topology",
@@ -82,6 +85,7 @@ __all__ = [
     "ClusterReport",
     "RebalanceInfo",
     "ShardedSpmmResult",
+    "StragglerEvent",
     "rebalance_plan",
     "simulate_multichip_gcn",
     "simulate_sharded_spmm",

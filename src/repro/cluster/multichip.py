@@ -67,11 +67,12 @@ from repro.accel.gcnaccel import GcnAccelerator, build_spmm_jobs, slice_jobs
 from repro.cluster.partition import (
     ShardPlan,
     check_capacities,
+    check_row_ceilings,
     halo_exchange,
     make_plan,
 )
 from repro.cluster.topology import TOPOLOGY_KINDS, Topology, make_topology
-from repro.errors import ConfigError
+from repro.errors import CeilingError, ConfigError
 from repro.utils.validation import (
     check_non_negative_int,
     check_positive_finite,
@@ -79,6 +80,44 @@ from repro.utils.validation import (
 )
 
 REBALANCE_SIGNALS = ("load", "cycles")
+
+
+@dataclass(frozen=True)
+class StragglerEvent:
+    """One chip slowing down partway through a run.
+
+    ``chip`` is the affected chip id; from tuner round ``onset_round``
+    onward its simulated compute runs ``factor`` times slower (thermal
+    throttling, a contended memory channel, a failing board). A
+    fractional ``onset_round`` lands *inside* a feedback round: that
+    round's measurement blends the clean and slowed rates in proportion
+    to coverage, which is what lets the ``"cycles"`` signal react
+    mid-round instead of only at round boundaries. Steady-state
+    composition (what the final report charges) always applies the full
+    factor.
+    """
+
+    chip: int
+    onset_round: float = 0.0
+    factor: float = 2.0
+
+    def __post_init__(self):
+        check_non_negative_int(self.chip, "straggler chip")
+        onset = float(self.onset_round)
+        if not math.isfinite(onset) or onset < 0:
+            raise ConfigError(
+                f"straggler onset_round must be finite and >= 0, "
+                f"got {self.onset_round}"
+            )
+        factor = float(self.factor)
+        if not math.isfinite(factor) or factor < 1.0:
+            raise ConfigError(
+                f"straggler factor must be finite and >= 1.0, "
+                f"got {self.factor}"
+            )
+        object.__setattr__(self, "chip", int(self.chip))
+        object.__setattr__(self, "onset_round", onset)
+        object.__setattr__(self, "factor", factor)
 
 
 @dataclass(frozen=True)
@@ -143,6 +182,20 @@ class ClusterConfig:
     migration_words_per_nnz:
         Fabric words charged per migrated adjacency non-zero (index +
         value = 2 words by default). Any positive finite number.
+    row_ceilings:
+        Optional hard per-chip row budgets (length ``n_chips``). With
+        them set, the initial plan and every migration are constrained
+        so no chip ever owns more rows than its ceiling
+        (:class:`~repro.errors.CeilingError` when infeasible). None
+        (default) keeps the unconstrained behavior bit-identical.
+    stragglers:
+        Optional :class:`StragglerEvent` sequence (or ``(chip,
+        onset_round, factor)`` tuples): chips that slow down mid-run.
+        Steady-state composition charges the full slowdown; the
+        ``"cycles"`` feedback signal observes it per round (including
+        a blended mid-round measurement at a fractional onset) and
+        migrates work off the slowed chip. None (default) is
+        bit-identical to no stragglers.
     """
 
     n_chips: int = 4
@@ -161,6 +214,8 @@ class ClusterConfig:
     max_rebalance_rounds: int = 16
     rebalance_patience: int = 2
     migration_words_per_nnz: float = 2
+    row_ceilings: tuple = None
+    stragglers: tuple = None
 
     def __post_init__(self):
         check_positive_int(self.n_chips, "n_chips")
@@ -215,6 +270,25 @@ class ClusterConfig:
         check_positive_int(self.feedback_rounds, "feedback_rounds")
         check_positive_int(self.max_rebalance_rounds, "max_rebalance_rounds")
         check_positive_int(self.rebalance_patience, "rebalance_patience")
+        if self.row_ceilings is not None:
+            ceilings = check_row_ceilings(self.row_ceilings, self.n_chips)
+            object.__setattr__(
+                self, "row_ceilings", tuple(int(c) for c in ceilings)
+            )
+        if self.stragglers is not None:
+            events = []
+            for ev in self.stragglers:
+                if not isinstance(ev, StragglerEvent):
+                    ev = StragglerEvent(*ev)
+                if ev.chip >= self.n_chips:
+                    raise ConfigError(
+                        f"straggler chip {ev.chip} out of range for "
+                        f"{self.n_chips} chips"
+                    )
+                events.append(ev)
+            object.__setattr__(
+                self, "stragglers", tuple(events) if events else None
+            )
 
     @property
     def chip_configs(self):
@@ -329,7 +403,44 @@ def _check_rebalance_inputs(plan, cluster):
         )
 
 
-def _diffuse_pairs(bounds, weights, chip_time, marginal):
+def _straggler_multipliers(cluster, round_index=None):
+    """Per-chip compute slowdown factors, or None when all are 1.0.
+
+    ``round_index=None`` gives the *steady-state* multipliers (every
+    event fully active — what final composition charges). With a round
+    index, an event contributes 1.0 before its onset, its full factor
+    once the round starts at or after the onset, and a coverage-blended
+    factor for the round the onset lands inside: a round covering
+    ``[r, r + 1)`` with onset at ``r + x`` runs a ``1 - x`` fraction
+    slowed, so its measured rate is ``x + (1 - x) * factor`` — the
+    mid-round measurement the feedback signal reacts to.
+    """
+    if not cluster.stragglers:
+        return None
+    mult = np.ones(cluster.n_chips, dtype=np.float64)
+    for ev in cluster.stragglers:
+        if round_index is None or round_index >= ev.onset_round:
+            factor = ev.factor
+        elif round_index + 1 <= ev.onset_round:
+            factor = 1.0
+        else:
+            covered = (round_index + 1) - ev.onset_round
+            factor = (1.0 - covered) + covered * ev.factor
+        mult[ev.chip] *= factor
+    if np.all(mult == 1.0):
+        return None
+    return mult
+
+
+def _pending_onset(cluster, round_index):
+    """Whether any straggler has yet to take full effect by this round."""
+    if not cluster.stragglers:
+        return False
+    return any(ev.onset_round > round_index for ev in cluster.stragglers)
+
+
+def _diffuse_pairs(bounds, weights, chip_time, marginal, *,
+                   block_rows=None, row_counts=None, row_ceilings=None):
     """One boundary-diffusion sweep toward equal per-chip *time*.
 
     ``chip_time[c]`` is chip ``c``'s current time estimate and
@@ -339,6 +450,12 @@ def _diffuse_pairs(bounds, weights, chip_time, marginal):
     blocks from its hotter to its colder side, stopping before the
     transferred time would exceed half the pair's gap (the SLT rule) and
     never emptying the giver. Returns True when any block moved.
+
+    With ``row_ceilings`` set (plus ``block_rows``, rows per block, and
+    ``row_counts``, current rows per chip — mutated in place), every
+    transfer is additionally clamped so the receiving chip never
+    exceeds its hard row ceiling; the giver can only shrink, so it
+    stays feasible by construction.
     """
     n_chips = chip_time.size
     moved_any = False
@@ -349,10 +466,17 @@ def _diffuse_pairs(bounds, weights, chip_time, marginal):
             # Left chip hotter: shift its tail blocks rightward.
             shifted, acc = 0, 0.0
             while bounds[left + 1] - 1 - shifted > bounds[left]:
-                w = float(weights[bounds[left + 1] - 1 - shifted])
+                b = bounds[left + 1] - 1 - shifted
+                w = float(weights[b])
                 dt = w * marginal[left]
                 if acc + dt > target:
                     break
+                if row_ceilings is not None:
+                    rows_b = int(block_rows[b])
+                    if row_counts[left + 1] + rows_b > row_ceilings[left + 1]:
+                        break
+                    row_counts[left] -= rows_b
+                    row_counts[left + 1] += rows_b
                 acc += dt
                 shifted += 1
                 chip_time[left] -= w * marginal[left]
@@ -363,10 +487,17 @@ def _diffuse_pairs(bounds, weights, chip_time, marginal):
         elif gap < 0:
             shifted, acc = 0, 0.0
             while bounds[left + 1] + shifted < bounds[left + 2] - 1:
-                w = float(weights[bounds[left + 1] + shifted])
+                b = bounds[left + 1] + shifted
+                w = float(weights[b])
                 dt = w * marginal[left + 1]
                 if acc + dt > target:
                     break
+                if row_ceilings is not None:
+                    rows_b = int(block_rows[b])
+                    if row_counts[left] + rows_b > row_ceilings[left]:
+                        break
+                    row_counts[left + 1] -= rows_b
+                    row_counts[left] += rows_b
                 acc += dt
                 shifted += 1
                 chip_time[left + 1] -= w * marginal[left + 1]
@@ -377,7 +508,8 @@ def _diffuse_pairs(bounds, weights, chip_time, marginal):
     return moved_any
 
 
-def rebalance_plan(plan, row_nnz, cluster, *, capacities=None):
+def rebalance_plan(plan, row_nnz, cluster, *, capacities=None,
+                   row_ceilings=None):
     """Run the chip-level Eq. 5 load-signal controller; ``(plan, info)``.
 
     Blocks play the role of rows, chips the role of PEs, and the
@@ -397,6 +529,13 @@ def rebalance_plan(plan, row_nnz, cluster, *, capacities=None):
     (:meth:`ClusterConfig.capacities`); a homogeneous cluster reduces
     bit-for-bit to the PR 4 unnormalized controller.
 
+    ``row_ceilings`` (defaulting to :attr:`ClusterConfig.row_ceilings`)
+    are hard per-chip row budgets: every transfer is clamped so no
+    migration pushes a chip past its ceiling, and a plan that already
+    violates one raises :class:`~repro.errors.CeilingError`. The
+    best-map restore only ever sees clamped candidates, so the returned
+    plan respects every ceiling too.
+
     Requires a contiguous plan (``owner`` sorted in runs, as both
     :func:`~repro.cluster.partition.make_plan` strategies produce):
     boundary diffusion is what keeps shards contiguous and halos small.
@@ -407,11 +546,26 @@ def rebalance_plan(plan, row_nnz, cluster, *, capacities=None):
         capacities = cluster.capacities()
     else:
         capacities = check_capacities(capacities, plan.n_chips)
+    if row_ceilings is None:
+        row_ceilings = cluster.row_ceilings
+    ceilings = check_row_ceilings(
+        row_ceilings, plan.n_chips, n_rows=plan.n_rows
+    )
+    if ceilings is not None:
+        counts = plan.chip_row_counts()
+        if np.any(counts > ceilings):
+            over = int(np.argmax(counts > ceilings))
+            raise CeilingError(
+                f"input plan already violates row_ceilings: chip {over} "
+                f"owns {int(counts[over])} rows, ceiling "
+                f"{int(ceilings[over])}"
+            )
     uniform = bool(np.all(capacities == 1.0))
     if plan.n_chips == 1 or plan.n_blocks <= plan.n_chips:
         return plan, _noop_info()
     bounds = _plan_bounds(plan)
     n_chips = plan.n_chips
+    block_rows = plan.block_sizes
     marginal = 1.0 / capacities
 
     def chip_times(b):
@@ -429,8 +583,15 @@ def rebalance_plan(plan, row_nnz, cluster, *, capacities=None):
     rounds = 0
     converged_round = None
     while rounds < cluster.max_rebalance_rounds:
-        moved_any = _diffuse_pairs(bounds, weights, chip_times(bounds),
-                                   marginal)
+        row_counts = (
+            np.add.reduceat(block_rows, bounds[:-1]).astype(np.int64)
+            if ceilings is not None else None
+        )
+        moved_any = _diffuse_pairs(
+            bounds, weights, chip_times(bounds), marginal,
+            block_rows=block_rows if ceilings is not None else None,
+            row_counts=row_counts, row_ceilings=ceilings,
+        )
         times = chip_times(bounds)
         gap_history.append(gap_of(times))
         rounds += 1
@@ -654,13 +815,18 @@ class ClusterReport:
         return self.cluster.chip.cycles_to_ms(self.total_cycles)
 
 
-def _compose_layers(cluster, plan, layers, chip_reports, adjacency, a_hops):
+def _compose_layers(cluster, plan, layers, chip_reports, adjacency, a_hops,
+                    *, slowdown=None):
     """Fold per-chip layer timings + fabric halo pricing into layer costs.
 
     Returns ``(layer_cycles, comm_serial, chip_costs, chip_compute)``:
     per-layer barrier-inclusive costs, the serialized per-chip comm
     matrix, the composed per-chip per-layer costs (pre-barrier) and the
     reference-clock per-chip compute matrix.
+
+    ``slowdown`` (per-chip multipliers from
+    :func:`_straggler_multipliers`) scales each chip's reference-clock
+    compute — straggling stretches compute, not the fabric.
     """
     n_layers = len(layers)
     n_chips = cluster.n_chips
@@ -686,10 +852,13 @@ def _compose_layers(cluster, plan, layers, chip_reports, adjacency, a_hops):
                 halo_words * (rounds * a_hops)
             )
         for chip in range(n_chips):
-            chip_compute[layer, chip] = cluster.ref_cycles(
+            base = cluster.ref_cycles(
                 chip_reports[chip].layers[layer].pipelined_cycles,
                 cluster.chip_for(chip),
             )
+            if slowdown is not None and slowdown[chip] != 1.0:
+                base = int(math.ceil(base * float(slowdown[chip])))
+            chip_compute[layer, chip] = base
         if cluster.overlap:
             # Double-buffer composition: the first buffer fill (one
             # dense column's halo) is exposed, then compute overlaps
@@ -776,10 +945,27 @@ def _feedback_rebalance(dataset, cluster, plan, layers, cache, name,
     state of plans the controller discarded. Only the winning plan is
     run against the shared cache itself.
 
+    Stragglers (:attr:`ClusterConfig.stragglers`) change what each
+    round *measures*: round ``r``'s per-chip compute is scaled by the
+    round-``r`` multipliers, including the coverage blend when an onset
+    lands mid-round — the diffusion sweep therefore starts migrating
+    work off a slowing chip inside the very round the slowdown begins.
+    When the multipliers change between rounds the best-plan/patience
+    bookkeeping resets (totals measured under different regimes are not
+    comparable), and the controller keeps running while an onset is
+    still pending so the event is observed at all. The winning plan is
+    always re-composed under the *steady-state* multipliers, which is
+    what the final report charges. With ``row_ceilings`` set every
+    feedback-driven transfer is clamped exactly like the load signal's.
+
     Returns ``(plan, info, chip_reports, composed)`` with the winning
     plan's reports and composition run against the caller's cache.
     """
     weights = plan.block_weights(row_nnz)
+    block_rows = plan.block_sizes
+    ceilings = check_row_ceilings(
+        cluster.row_ceilings, cluster.n_chips, n_rows=plan.n_rows
+    )
     initial = plan
     plan, _load_info = rebalance_plan(plan, row_nnz, cluster)
     bounds = _plan_bounds(plan)
@@ -791,11 +977,26 @@ def _feedback_rebalance(dataset, cluster, plan, layers, cache, name,
     converged_round = None
     stall = 0
     current = plan
+    prev_mult = None
     while True:
+        mult = _straggler_multipliers(cluster, rounds)
+        regime_changed = (
+            (mult is None) != (prev_mult is None)
+            or (mult is not None and prev_mult is not None
+                and not np.array_equal(mult, prev_mult))
+        )
+        if regime_changed:
+            # Totals measured under the previous slowdown regime are
+            # not comparable to the new one: restart the best-plan and
+            # patience bookkeeping from this round's observation.
+            best = None
+            stall = 0
+        prev_mult = mult
         reports = _run_chips(dataset, cluster, current, layers,
                              explore_cache, name)
         composed = _compose_layers(
-            cluster, current, layers, reports, dataset.adjacency, a_hops
+            cluster, current, layers, reports, dataset.adjacency, a_hops,
+            slowdown=mult,
         )
         _cycles, _comm, _costs, chip_compute = composed
         measured = chip_compute.sum(axis=0).astype(np.float64)
@@ -803,20 +1004,29 @@ def _feedback_rebalance(dataset, cluster, plan, layers, cache, name,
         total = sum(composed[0]) + _migration_cycles(
             cluster, initial, current, weights
         )
+        pending = _pending_onset(cluster, rounds)
         if best is None or total < best[0]:
             best = (total, current, reports, composed)
             stall = 0
         else:
             stall += 1
-            if stall >= cluster.rebalance_patience:
+            if stall >= cluster.rebalance_patience and not pending:
                 converged_round = rounds
                 break
         if rounds >= cluster.feedback_rounds:
             break
         loads = np.add.reduceat(weights, bounds[:-1]).astype(np.float64)
         marginal = measured / np.maximum(loads, 1.0)
-        moved = _diffuse_pairs(bounds, weights, measured.copy(), marginal)
-        if not moved:
+        row_counts = (
+            np.add.reduceat(block_rows, bounds[:-1]).astype(np.int64)
+            if ceilings is not None else None
+        )
+        moved = _diffuse_pairs(
+            bounds, weights, measured.copy(), marginal,
+            block_rows=block_rows if ceilings is not None else None,
+            row_counts=row_counts, row_ceilings=ceilings,
+        )
+        if not moved and not pending:
             converged_round = rounds
             break
         rounds += 1
@@ -825,6 +1035,7 @@ def _feedback_rebalance(dataset, cluster, plan, layers, cache, name,
         ))
 
     _total, best_plan, best_reports, best_composed = best
+    steady = _straggler_multipliers(cluster)
     if cache is not None:
         # Replay the winner against the caller's cache: stores (or
         # hits) only the surviving plan's tuning entries, and the
@@ -834,7 +1045,14 @@ def _feedback_rebalance(dataset, cluster, plan, layers, cache, name,
         )
         best_composed = _compose_layers(
             cluster, best_plan, layers, best_reports, dataset.adjacency,
-            a_hops,
+            a_hops, slowdown=steady,
+        )
+    elif cluster.stragglers:
+        # The winning round may have measured a pre-onset or blended
+        # regime; what the run ultimately pays is the steady state.
+        best_composed = _compose_layers(
+            cluster, best_plan, layers, best_reports, dataset.adjacency,
+            a_hops, slowdown=steady,
         )
     moved = best_plan.owner != initial.owner
     info = RebalanceInfo(
@@ -878,12 +1096,24 @@ def simulate_multichip_gcn(dataset, cluster, *, a_hops=1, cache=None,
         plan = make_plan(
             a_row_nnz, cluster.n_chips, strategy=cluster.strategy,
             blocks_per_chip=cluster.blocks_per_chip, capacities=capacities,
+            row_ceilings=cluster.row_ceilings,
         )
     elif plan.n_rows != dataset.n_nodes or plan.n_chips != cluster.n_chips:
         raise ConfigError(
             f"plan ({plan!r}) does not match dataset "
             f"({dataset.n_nodes} nodes) / cluster ({cluster.n_chips} chips)"
         )
+    elif cluster.row_ceilings is not None:
+        ceilings = check_row_ceilings(
+            cluster.row_ceilings, cluster.n_chips, n_rows=plan.n_rows
+        )
+        counts = plan.chip_row_counts()
+        if np.any(counts > ceilings):
+            over = int(np.argmax(counts > ceilings))
+            raise CeilingError(
+                f"supplied plan violates row_ceilings: chip {over} owns "
+                f"{int(counts[over])} rows, ceiling {int(ceilings[over])}"
+            )
 
     layers = build_spmm_jobs(dataset, a_hops=a_hops)
     name = getattr(dataset, "name", "custom")
@@ -913,8 +1143,12 @@ def simulate_multichip_gcn(dataset, cluster, *, a_hops=1, cache=None,
         else:
             info = _noop_info(cluster.rebalance_signal)
         chip_reports = _run_chips(dataset, cluster, plan, layers, cache, name)
+        # A frozen or load-signal plan pays the steady-state slowdown
+        # in full — only the "cycles" feedback path can observe and
+        # route around a straggler.
         composed = _compose_layers(
-            cluster, plan, layers, chip_reports, dataset.adjacency, a_hops
+            cluster, plan, layers, chip_reports, dataset.adjacency, a_hops,
+            slowdown=_straggler_multipliers(cluster),
         )
 
     migration_cycles = _migration_cycles(

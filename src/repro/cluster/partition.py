@@ -32,7 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import CeilingError, ConfigError
 from repro.sparse.convert import coo_to_csr
 from repro.sparse.coo import CooMatrix
 from repro.sparse.csr import CsrMatrix
@@ -175,8 +175,142 @@ def check_capacities(capacities, n_chips):
     return capacities
 
 
+def check_row_ceilings(row_ceilings, n_chips, n_rows=None):
+    """Validate a per-chip hard row-ceiling vector; None passes through.
+
+    Ceilings are absolute row counts (not relative shares): chip ``c``
+    may never own more than ``row_ceilings[c]`` rows, neither in the
+    initial plan nor after any migration. When ``n_rows`` is given the
+    aggregate feasibility check runs here: ceilings summing to fewer
+    rows than the graph has raise :class:`CeilingError` immediately.
+    """
+    if row_ceilings is None:
+        return None
+    ceilings = np.asarray(row_ceilings, dtype=np.int64)
+    if ceilings.shape != (n_chips,):
+        raise ConfigError(
+            f"row_ceilings must have one entry per chip ({n_chips}), "
+            f"got shape {ceilings.shape}"
+        )
+    if np.any(ceilings <= 0):
+        raise ConfigError(
+            f"row_ceilings must be > 0, got {ceilings}"
+        )
+    if n_rows is not None and int(ceilings.sum()) < n_rows:
+        raise CeilingError(
+            f"row_ceilings sum to {int(ceilings.sum())} rows but the "
+            f"graph has {n_rows}: no feasible plan exists"
+        )
+    return ceilings
+
+
+def _ceiling_reach(bounds, start, ceiling):
+    """Last block index ``e`` with ``bounds[e] - bounds[start] <= ceiling``.
+
+    I.e. the largest stop boundary a chip starting at block ``start``
+    can afford under its row ceiling. Blocks are near-equal size (they
+    differ by at most one row), so the reachable stop is monotone in
+    ``start`` — the interval logic of the constrained sweep relies on
+    that.
+    """
+    limit = bounds[start] + ceiling
+    return int(np.searchsorted(bounds, limit, side="right")) - 1
+
+
+def _suffix_need(bounds, ceilings, n_chips):
+    """Earliest start block from which chips ``c..n-1`` can cover the rest.
+
+    ``need[c]`` is the minimal block index where chip ``c``'s shard may
+    begin such that chips ``c``, ``c+1``, … together can still reach the
+    final boundary without any of them exceeding its ceiling.
+    ``need[n_chips]`` anchors the recursion at the last boundary.
+    Raises :class:`CeilingError` when even starting at block 0 the
+    suffix cannot cover the graph (infeasible granularity or ceilings).
+    """
+    n_blocks = bounds.size - 1
+    smallest_block = int(np.diff(bounds).min())
+    need = np.empty(n_chips + 1, dtype=np.int64)
+    need[n_chips] = n_blocks
+    for chip in range(n_chips - 1, -1, -1):
+        if int(ceilings[chip]) < smallest_block:
+            raise CeilingError(
+                f"chip {chip} row ceiling {int(ceilings[chip])} is below "
+                f"the block granularity ({smallest_block} rows): raise "
+                "blocks_per_chip or the ceiling"
+            )
+        # Chip ``chip`` must start early enough that its farthest
+        # affordable stop still reaches need[chip + 1]; scan starts in
+        # ascending order so the first feasible start is the minimal one.
+        found = -1
+        for b in range(n_blocks - (n_chips - chip) + 1):
+            reach = _ceiling_reach(bounds, b, ceilings[chip])
+            hi = min(reach, n_blocks - (n_chips - chip - 1))
+            if max(b + 1, int(need[chip + 1])) <= hi:
+                found = b
+                break
+        if found < 0:
+            raise CeilingError(
+                f"row_ceilings {ceilings.tolist()} admit no contiguous "
+                f"plan over {n_blocks} blocks: chips {chip}..{n_chips - 1} "
+                "cannot cover the remaining rows"
+            )
+        need[chip] = found
+    if need[0] > 0:
+        raise CeilingError(
+            f"row_ceilings {ceilings.tolist()} admit no contiguous plan: "
+            f"chip 0 would need to start at block {int(need[0])}"
+        )
+    return need
+
+
+def _constrained_owner(bounds, weights, n_chips, strategy, capacities,
+                       ceilings):
+    """Block->chip assignment honouring hard per-chip row ceilings.
+
+    Runs the same target-driven sweep as the unconstrained strategies
+    but clamps every chip's stop boundary into its feasible interval:
+    at least far enough that the remaining chips can still cover the
+    suffix (``need``), at most as far as the chip's own ceiling and the
+    one-block-per-remaining-chip reserve allow. Spilled work cascades
+    to later chips by construction.
+    """
+    n_blocks = bounds.size - 1
+    need = _suffix_need(bounds, ceilings, n_chips)
+    owner = np.empty(n_blocks, dtype=np.int64)
+    if strategy == "nnz":
+        total = float(weights.sum())
+        cum_cap = np.cumsum(capacities)
+        cap_total = float(cum_cap[-1])
+        cum_weights = np.concatenate(([0.0], np.cumsum(weights)))
+    block = 0
+    for chip in range(n_chips):
+        start = block
+        e_lo = max(start + 1, int(need[chip + 1]))
+        e_hi = min(
+            _ceiling_reach(bounds, start, ceilings[chip]),
+            n_blocks - (n_chips - chip - 1),
+        )
+        if e_lo > e_hi:
+            raise CeilingError(
+                f"chip {chip} cannot take a feasible shard: needs to "
+                f"stop in [{e_lo}, {e_hi}] under ceiling "
+                f"{int(ceilings[chip])}"
+            )
+        if strategy == "rows":
+            desired = -(-(chip + 1) * n_blocks // n_chips)
+        else:
+            target = total * float(cum_cap[chip]) / cap_total
+            desired = int(
+                np.searchsorted(cum_weights, target, side="left")
+            )
+        block = min(max(desired, e_lo), e_hi)
+        owner[start:block] = chip
+    owner[block:] = n_chips - 1
+    return owner
+
+
 def make_plan(row_nnz, n_chips, *, strategy="nnz", blocks_per_chip=8,
-              capacities=None):
+              capacities=None, row_ceilings=None):
     """Partition ``n_rows`` rows across ``n_chips`` chips.
 
     ``row_nnz`` is the per-row work profile (the adjacency row-nnz for
@@ -197,6 +331,14 @@ def make_plan(row_nnz, n_chips, *, strategy="nnz", blocks_per_chip=8,
     produce identical block boundaries, so their cycle outcomes differ
     only through the assignment — which is what the shard-bench
     comparison isolates.
+
+    ``row_ceilings`` are *hard* per-chip row budgets (see
+    :func:`check_row_ceilings`): with them set, both strategies run a
+    constrained sweep that stops taking blocks at a chip's ceiling and
+    spills the excess to later chips, raising :class:`CeilingError`
+    when no contiguous assignment can satisfy every ceiling. With
+    ``row_ceilings=None`` (the default) the unconstrained code path is
+    untouched and bit-identical to earlier releases.
     """
     row_nnz = check_1d_int_array(row_nnz, "row_nnz")
     n_chips = check_positive_int(n_chips, "n_chips")
@@ -223,7 +365,13 @@ def make_plan(row_nnz, n_chips, *, strategy="nnz", blocks_per_chip=8,
     ).astype(np.int64)
     bounds[-1] = n_rows
 
-    if strategy == "rows":
+    ceilings = check_row_ceilings(row_ceilings, n_chips, n_rows=n_rows)
+    if ceilings is not None:
+        weights = np.add.reduceat(row_nnz, bounds[:-1]).astype(np.float64)
+        owner = _constrained_owner(
+            bounds, weights, n_chips, strategy, capacities, ceilings
+        )
+    elif strategy == "rows":
         owner = np.arange(n_blocks, dtype=np.int64) * n_chips // n_blocks
     else:
         weights = np.add.reduceat(row_nnz, bounds[:-1]).astype(np.float64)

@@ -29,6 +29,18 @@ class ConfigError(ReproError, ValueError):
     """Raised when an architecture or dataset configuration is invalid."""
 
 
+class CeilingError(ConfigError):
+    """Raised when per-chip row ceilings make a shard plan infeasible.
+
+    A ceiling is a *hard* upper bound on the rows a chip may own (e.g.
+    on-chip buffer capacity in a memory-constrained deployment). The
+    partitioner raises this instead of silently overfilling when the
+    ceilings cannot be satisfied — because they sum to fewer rows than
+    the graph has, or because the contiguous block granularity leaves no
+    boundary inside some chip's budget.
+    """
+
+
 class SimulationError(ReproError, RuntimeError):
     """Raised when the hardware simulation reaches an inconsistent state.
 

@@ -42,7 +42,8 @@ from dataclasses import dataclass
 
 from repro.accel.gcnaccel import GcnAccelerator
 from repro.cluster.multichip import ClusterConfig, simulate_multichip_gcn
-from repro.errors import ConfigError
+from repro.cluster.partition import make_plan
+from repro.errors import CeilingError, ConfigError
 from repro.serve.cache import AutotuneCache
 from repro.serve.request import InferenceResult
 from repro.serve.scheduler import (
@@ -246,12 +247,15 @@ class InferenceService:
         graph (``ceil(n_nodes / chip_capacity)`` instances in the
         uniform case, clamped to the pool size; instances whose
         *expected* capacity-proportional share would overflow are left
-        out of the gang — note the expectation is a provisioning
-        estimate, the partitioner's actual nnz-balanced shards can
-        deviate on skewed graphs) and executes through
-        the :mod:`repro.cluster` multi-chip model, occupying all
-        participating instances for the sharded duration; the shared
-        ``AutotuneCache`` is keyed per shard. None (default) disables
+        out of the gang, and the *actual* constrained plan is validated
+        before dispatch — a gang whose real nnz-balanced shards would
+        overfill a member re-gangs wider) and executes through
+        the :mod:`repro.cluster` multi-chip model with the members'
+        capacities enforced as hard per-chip row ceilings, occupying
+        all participating instances for the sharded duration; the
+        shared ``AutotuneCache`` is keyed per shard. Only pool-clamped
+        jobs (graphs even the whole pool cannot cover) run with
+        capacities as best-effort estimates. None (default) disables
         sharding — oversized graphs run single-instance as before.
         Sharded jobs dispatch earliest-deadline-first with
         oldest-arrival tie-break, which degenerates to FIFO when no
@@ -260,7 +264,8 @@ class InferenceService:
         Optional dict of :class:`~repro.cluster.ClusterConfig`
         overrides for sharded jobs (e.g. ``link_words_per_cycle``,
         ``topology``, ``overlap``, ``rebalance_signal``); ``n_chips``,
-        ``chip`` and ``chips`` are always derived from the job itself.
+        ``chip``, ``chips`` and ``row_ceilings`` are always derived
+        from the job itself.
     worker_configs:
         Optional per-instance :class:`~repro.accel.ArchConfig` sequence
         (length ``n_workers``) describing a heterogeneous hardware
@@ -357,7 +362,7 @@ class InferenceService:
                     )
         self.worker_configs = worker_configs
         self.cluster_options = dict(cluster_options or {})
-        for reserved in ("n_chips", "chip", "chips"):
+        for reserved in ("n_chips", "chip", "chips", "row_ceilings"):
             if reserved in self.cluster_options:
                 raise ConfigError(
                     f"cluster_options may not override {reserved!r} "
@@ -449,11 +454,13 @@ class InferenceService:
                     results.append((head.seq, self._shed_result(head, clock)))
                     continue
                 free = [w for w in self.workers if w.free_at <= clock]
-                gang = self._shard_gang(free, head.request)
-                if gang is None:
+                picked = self._shard_gang(free, head.request)
+                if picked is None:
                     break
+                gang, constrained = picked
                 sharded.pop(head_at)
-                self._serve_sharded(head, gang, clock, results)
+                self._serve_sharded(head, gang, clock, results,
+                                    constrained=constrained)
             # Hand sealed batches, tightest deadline first, to free
             # instances (lowest index when several are free). With
             # per-worker capacities, only an instance that fits the
@@ -578,12 +585,15 @@ class InferenceService:
         ``nodes / k <= capacity`` iff ``k * capacity >= nodes``, and
         nothing is ever pruned.
 
-        The expected share is a provisioning estimate, as the uniform
-        ``chip_capacity`` always was: the partitioner balances *nnz*,
-        so on skewed graphs a chip's actual row count can exceed its
-        proportional share (hub rows concentrate nnz in few rows and
-        push row count onto the other chips). Hard per-chip row
-        ceilings belong in the cluster partitioner, not here.
+        The expected share is only a provisioning estimate — the
+        partitioner balances *nnz*, so on skewed graphs a chip's actual
+        row count can deviate from its proportional share. The hard
+        guarantee lives one level down: :meth:`_shard_gang` validates
+        the *actual* constrained plan (:meth:`_plan_fits`, worker
+        capacities as :func:`~repro.cluster.partition.make_plan` row
+        ceilings) before committing a gang, and the sharded run itself
+        executes under those ceilings, so no instance is ever handed
+        more rows than its declared capacity.
         """
         gang = list(candidates)
         while gang:
@@ -600,24 +610,81 @@ class InferenceService:
             gang = kept
         return None
 
-    def _shard_gang(self, free, request):
-        """The gang of free instances a sharded request runs on.
+    def _gang_ceilings(self, gang):
+        """The gang members' node capacities as hard row ceilings."""
+        return tuple(self._capacity_of(worker.index) for worker in gang)
 
-        The first index-ordered prefix of ``free`` containing a
-        feasible gang (:meth:`_fit_gang`) — ``ceil(nodes / capacity)``
-        instances in the uniform case. When even the whole pool holds
+    def _gang_cluster(self, workers, request, *, row_ceilings=None):
+        """The :class:`ClusterConfig` a sharded run on ``workers`` uses."""
+        if self.worker_configs is not None:
+            return ClusterConfig(
+                n_chips=len(workers),
+                chips=tuple(
+                    self.worker_configs[worker.index] for worker in workers
+                ),
+                row_ceilings=row_ceilings,
+                **self.cluster_options,
+            )
+        return ClusterConfig(
+            n_chips=len(workers), chip=request.config,
+            row_ceilings=row_ceilings, **self.cluster_options,
+        )
+
+    def _plan_fits(self, gang, request):
+        """Whether the *actual* constrained plan is feasible on ``gang``.
+
+        :meth:`_fit_gang`'s proportional-share check is an estimate; on
+        a skewed graph the real nnz-balanced plan can hand a member
+        more rows than its declared capacity. This builds the very plan
+        the sharded run would use — same strategy, block granularity
+        and capacities, with the members' capacities as hard row
+        ceilings — and reports whether it exists. The graph build is
+        memoized per spec, so repeated validation during gang scans
+        stays cheap.
+        """
+        dataset = request.resolve_graph()
+        if hasattr(dataset, "adjacency_row_nnz"):
+            row_nnz = dataset.adjacency_row_nnz()
+        else:
+            row_nnz = dataset.adjacency.row_nnz()
+        cluster = self._gang_cluster(
+            gang, request, row_ceilings=self._gang_ceilings(gang)
+        )
+        try:
+            make_plan(
+                row_nnz, cluster.n_chips, strategy=cluster.strategy,
+                blocks_per_chip=cluster.blocks_per_chip,
+                capacities=cluster.capacities(),
+                row_ceilings=cluster.row_ceilings,
+            )
+        except CeilingError:
+            return False
+        return True
+
+    def _shard_gang(self, free, request):
+        """The gang a sharded request runs on: ``(gang, constrained)``.
+
+        The first index-ordered prefix of ``free`` containing a gang
+        that passes both the proportional-share screen
+        (:meth:`_fit_gang`) and actual-plan validation
+        (:meth:`_plan_fits`) — ``ceil(nodes / capacity)`` instances in
+        the uniform case, more when the real plan overfills a member
+        (the job re-gangs wider instead of silently overfilling).
+        ``constrained`` True means the run enforces the members'
+        capacities as hard row ceilings. When even the whole pool holds
         no feasible gang the job is pool-clamped onto every instance
-        (capacities become best-effort); otherwise an insufficient
-        *free* set returns None — the job waits for more instances to
+        with ``constrained`` False (capacities become best-effort — the
+        pool physically cannot honor them); otherwise an insufficient
+        *free* set returns None and the job waits for more instances to
         idle.
         """
         nodes = request.graph_nodes()
         for end in range(1, len(free) + 1):
             gang = self._fit_gang(free[:end], nodes)
-            if gang:
-                return gang
+            if gang and self._plan_fits(gang, request):
+                return gang, True
         if free and len(free) == len(self.workers):
-            return list(free)
+            return list(free), False
         return None
 
     def _gang_ready_time(self, request):
@@ -625,14 +692,18 @@ class InferenceService:
 
         Scans instances in ``free_at`` order: at each instant the
         candidate set is exactly the set :meth:`_shard_gang` will see,
-        and :meth:`_fit_gang` is order-independent, so the returned
-        time is one at which dispatch really succeeds — the event loop
-        never advances to a horizon that cannot make progress.
+        and its combined predicate (:meth:`_fit_gang` plus
+        :meth:`_plan_fits`) is order-independent, so the returned time
+        is one at which dispatch really succeeds — the event loop never
+        advances to a horizon that cannot make progress. The fallback
+        (every instance idle) is exactly the pool-clamp case, which
+        always dispatches.
         """
         nodes = request.graph_nodes()
         by_free = sorted(self.workers, key=lambda w: w.free_at)
         for end in range(1, len(by_free) + 1):
-            if self._fit_gang(by_free[:end], nodes):
+            gang = self._fit_gang(by_free[:end], nodes)
+            if gang and self._plan_fits(gang, request):
                 return by_free[end - 1].free_at
         return by_free[-1].free_at
 
@@ -666,7 +737,8 @@ class InferenceService:
         worker.last_key = key
         return start
 
-    def _serve_sharded(self, item, workers, clock, results):
+    def _serve_sharded(self, item, workers, clock, results, *,
+                       constrained=True):
         """Run one oversized request as a multi-chip job on ``workers``.
 
         All participating instances gang-schedule: service starts once
@@ -677,10 +749,22 @@ class InferenceService:
         otherwise every chip replicates the request's config. The
         shared autotune cache is passed down, so each shard's tuning
         state is cached independently per chip config.
+
+        With ``constrained`` (the normal :meth:`_shard_gang` outcome)
+        the members' node capacities become hard
+        :attr:`~repro.cluster.ClusterConfig.row_ceilings` of the
+        cluster plan — the partitioner and every rebalancing migration
+        keep each shard within its instance's declared capacity.
+        Pool-clamped jobs run unconstrained (best effort, the pool
+        cannot cover the graph).
         """
         from repro.datasets.registry import dataset_fingerprint
 
         request = item.request
+        ceilings = (
+            self._gang_ceilings(workers)
+            if constrained and self.chip_capacity is not None else None
+        )
         if self.worker_configs is not None:
             start = max(
                 self._reconfigure(
@@ -691,23 +775,13 @@ class InferenceService:
                 )
                 for worker in workers
             )
-            cluster = ClusterConfig(
-                n_chips=len(workers),
-                chips=tuple(
-                    self.worker_configs[worker.index] for worker in workers
-                ),
-                **self.cluster_options,
-            )
         else:
             key = (request.config, request.a_hops)
             start = max(
                 self._reconfigure(worker, key, request.config, clock)
                 for worker in workers
             )
-            cluster = ClusterConfig(
-                n_chips=len(workers), chip=request.config,
-                **self.cluster_options,
-            )
+        cluster = self._gang_cluster(workers, request, row_ceilings=ceilings)
         dataset = request.resolve_graph()
         wall_started = time.perf_counter()
         report = simulate_multichip_gcn(

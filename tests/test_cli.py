@@ -138,6 +138,24 @@ class TestCommands:
                 ["serve-bench", "--arrival", "psychic"]
             )
 
+    def test_shard_bench_ceiling_and_straggler(self, capsys):
+        code = main([
+            "shard-bench", "--chips", "1,2", "--nodes", "512",
+            "--weak-nodes-per-chip", "256", "--seed", "3",
+            "--row-ceiling", "400", "--straggler", "1:1.5:2.0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "row ceiling 400" in out
+        assert "1 straggler(s)" in out
+
+    def test_shard_bench_rejects_malformed_straggler(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["shard-bench", "--straggler", "1:2"])
+        assert "CHIP:ONSET:FACTOR" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["shard-bench", "--straggler", "a:b:c"])
+
     def test_module_entry_point(self):
         import subprocess
         import sys

@@ -223,16 +223,78 @@ class TestShardedDispatch:
                              cluster_options={"chips": (CFG_A,)})
 
     def test_topology_cluster_options_forwarded(self):
+        # Hop latency makes the ring's multi-hop routes strictly more
+        # expensive than the single-hop all-to-all regardless of how
+        # the capacity-ceiling-constrained plan distributes traffic
+        # (contention alone can favor either fabric on a forced
+        # equal-rows plan, since all-to-all serializes a chip's whole
+        # ingress on one link while a ring splits it two ways).
         ring = serve_requests(
             [_req(graph=BIG)], n_workers=4, chip_capacity=256,
             cluster_options={"topology": "ring",
-                             "link_words_per_cycle": 2.0},
+                             "link_words_per_cycle": 2.0,
+                             "hop_latency_cycles": 512},
         )
         a2a = serve_requests(
             [_req(graph=BIG)], n_workers=4, chip_capacity=256,
             cluster_options={"link_words_per_cycle": 2.0},
         )
         assert ring.results[0].total_cycles > a2a.results[0].total_cycles
+
+
+class TestGangCeilings:
+    def test_ceilings_threaded_into_sharded_run(self):
+        # The sharded run must execute under the gang members' node
+        # capacities as hard row ceilings: its cycle count matches a
+        # direct ceiling-constrained simulation, not the unconstrained
+        # plan (which hands one chip 704 of BIG's 1024 rows).
+        from repro.cluster import ClusterConfig, simulate_multichip_gcn
+
+        req = _req(graph=BIG)
+        outcome = serve_requests([req], n_workers=2, chip_capacity=512)
+        dataset = BIG.build()
+        constrained = simulate_multichip_gcn(
+            dataset,
+            ClusterConfig(n_chips=2, chip=CFG_A, row_ceilings=(512, 512)),
+            a_hops=req.a_hops,
+        )
+        unconstrained = simulate_multichip_gcn(
+            dataset,
+            ClusterConfig(n_chips=2, chip=CFG_A),
+            a_hops=req.a_hops,
+        )
+        assert np.any(unconstrained.plan.chip_row_counts() > 512)
+        assert outcome.results[0].total_cycles == constrained.total_cycles
+        assert outcome.results[0].total_cycles != unconstrained.total_cycles
+
+    def test_regangs_wider_when_real_plan_overfills(self):
+        # The proportional-share screen accepts the two-member gang
+        # (shares 614/410 fit 630/420) but the actual block-granular
+        # constrained plan does not exist at those ceilings — the job
+        # must re-gang wider instead of overfilling a member.
+        outcome = serve_requests(
+            [_req(graph=BIG)], n_workers=4,
+            chip_capacity=[630, 420, 630, 420],
+            worker_configs=[CFG_B, CFG_A, CFG_B, CFG_A],
+        )
+        assert outcome.results[0].n_shards == 3
+
+    def test_pool_clamp_still_serves_best_effort(self):
+        # A pool that physically cannot cover the graph clamps onto
+        # every instance with the capacities demoted to best-effort;
+        # the request is still answered.
+        outcome = serve_requests(
+            [_req(graph=BIG)], n_workers=2, chip_capacity=128
+        )
+        result = outcome.results[0]
+        assert result.n_shards == 2
+        assert result.total_cycles > 0
+        assert not result.shed
+
+    def test_row_ceilings_is_reserved_cluster_option(self):
+        with pytest.raises(ConfigError):
+            InferenceService(chip_capacity=64,
+                             cluster_options={"row_ceilings": (32, 32)})
 
 
 class TestShardedQueueEdf:

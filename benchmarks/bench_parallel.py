@@ -1,0 +1,56 @@
+"""Wall-clock scaling of the multiprocessing backend (``parallel-bench``).
+
+Claims checked:
+
+* **Bit-identity (always):** the ``repro shard-bench`` sweep run with
+  ``workers in {2, 4}`` emits *exactly* the rows of the sequential
+  ``workers=1`` oracle — every cycle count, speedup, efficiency, comm
+  fraction, migrated-block count and utilization. Worker count is a
+  host-execution knob and must be invisible to the model.
+* **Speedup (multi-core hosts only):** at 4 workers the sweep's wall
+  time drops >= 2x. Speedup is host physics — on a single-core host
+  the pool cannot beat the oracle (it only adds fork/IPC overhead), so
+  this assertion is gated on the host actually having >= 4 usable
+  CPUs; the artifact records ``host_cpus`` so a reader can tell which
+  regime a row was measured in.
+
+``REPRO_PARALLEL_SMOKE=1`` shrinks the sweep to a seconds-long
+configuration (CI runs it so the harness cannot rot) while asserting
+the same identity claim.
+"""
+
+import os
+
+from conftest import run_once, save_artifact
+
+from repro.analysis import compare_parallel_scaling, host_cpu_count
+
+SMOKE = os.environ.get("REPRO_PARALLEL_SMOKE") == "1"
+WORKER_COUNTS = (1, 2) if SMOKE else (1, 2, 4)
+SWEEP_KWARGS = (
+    {"worker_counts": WORKER_COUNTS, "chip_counts": (2,), "n_nodes": 2048,
+     "weak_nodes_per_chip": 1024}
+    if SMOKE
+    else {"worker_counts": WORKER_COUNTS, "chip_counts": (4, 8),
+          "n_nodes": 8192, "weak_nodes_per_chip": 2048, "repeats": 2}
+)
+
+
+def test_bench_parallel_scaling(benchmark, bench_seed):
+    rows, text = run_once(
+        benchmark, compare_parallel_scaling, seed=bench_seed,
+        **SWEEP_KWARGS,
+    )
+    save_artifact("parallel_scaling", rows, text)
+
+    # Bit-identity holds on every host, single-core included.
+    assert all(r["identical"] in ("oracle", "yes") for r in rows), text
+
+    by_workers = {r["workers"]: r for r in rows}
+    assert set(by_workers) == set(WORKER_COUNTS), text
+
+    # The >= 2x wall-clock claim needs real cores to run on; a host
+    # with fewer CPUs than workers physically cannot exhibit it (the
+    # artifact's host_cpus column records which regime this was).
+    if not SMOKE and host_cpu_count() >= 4:
+        assert by_workers[4]["speedup"] >= 2.0, text

@@ -17,7 +17,11 @@ preprint titled UWB-GCN) as a pure-Python system:
   the energy model;
 * :mod:`repro.analysis` — regeneration of every table and figure;
 * :mod:`repro.serve`    — batched multi-graph inference serving with
-  autotune caching (scheduler, accelerator pool, ``repro serve-bench``).
+  autotune caching (scheduler, accelerator pool, ``repro serve-bench``);
+* :mod:`repro.parallel` — the multiprocessing execution backend: cold
+  simulations fan out to a worker pool and replay bit-identically
+  (``workers=N`` on :class:`~repro.serve.InferenceService` /
+  :class:`~repro.cluster.ClusterConfig`, ``repro parallel-bench``).
 
 Quickstart::
 

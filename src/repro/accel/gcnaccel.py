@@ -344,6 +344,11 @@ class GcnAccelerator:
         instance._dataset_key = None
         return instance
 
+    @property
+    def name(self):
+        """The workload label reported as :attr:`AcceleratorReport.dataset`."""
+        return self._name
+
     def fingerprint(self):
         """Structural hash of the workload (not the config).
 

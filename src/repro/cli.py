@@ -12,10 +12,13 @@ Usage::
     python -m repro fig15 [--pe-counts 512,768,1024]
     python -m repro serve-bench [--requests 96] [--graphs 4]
     python -m repro serve-bench --arrival-rate 400 --slo-ms 5
+    python -m repro serve-bench --sim-workers 4    # parallel backend
     python -m repro bench-rebalance [--pe-counts 64,256,1024,4096]
     python -m repro shard-bench [--chips 1,2,4,8] [--nodes 8192]
     python -m repro shard-bench --topology ring --hetero --overlap --feedback
+    python -m repro shard-bench --workers 4        # parallel backend
     python -m repro shard-topology [--chips 4] [--aggregate-bandwidth 64]
+    python -m repro parallel-bench [--worker-counts 1,2,4]
     python -m repro summary           # dataset inventory
 
 Each command prints the rendered table; ``--out DIR`` additionally
@@ -110,6 +113,11 @@ def build_parser():
                             "(default: poisson)")
     serve.add_argument("--max-batch", type=int, default=None,
                        help="batch-size cap in streaming mode (default: 8)")
+    serve.add_argument("--sim-workers", type=int, default=1,
+                       help="host processes running the simulations "
+                            "(repro.parallel; results stay bit-identical "
+                            "to the sequential default of 1 — distinct "
+                            "from --workers, the simulated pool size)")
     serve.add_argument("--out", default=None, metavar="DIR",
                        help="also write rows as CSV under DIR")
 
@@ -180,9 +188,39 @@ def build_parser():
                             "FACTOR from feedback round ONSET on "
                             "(fractional onsets land mid-round); "
                             "repeatable")
+    shard.add_argument("--workers", type=int, default=1,
+                       help="host processes running the per-chip "
+                            "simulations (repro.parallel; results stay "
+                            "bit-identical to the sequential default "
+                            "of 1)")
     shard.add_argument("--seed", type=int, default=7)
     shard.add_argument("--out", default=None, metavar="DIR",
                        help="also write rows as CSV under DIR")
+
+    pbench = sub.add_parser(
+        "parallel-bench",
+        help=("wall-clock scaling of the repro.parallel backend: run "
+              "the shard sweep at each worker count, assert results "
+              "stay bit-identical to the sequential oracle"),
+    )
+    pbench.add_argument("--worker-counts", default="1,2,4",
+                        help="comma-separated worker counts "
+                             "(default: 1,2,4; 1 is always included)")
+    pbench.add_argument("--chips", default="4",
+                        help="comma-separated chip counts for the "
+                             "underlying sweep (default: 4)")
+    pbench.add_argument("--nodes", type=int, default=4096,
+                        help="strong-scaling graph size (default: 4096)")
+    pbench.add_argument("--weak-nodes-per-chip", type=int, default=1024,
+                        help="weak-scaling nodes per chip (default: 1024)")
+    pbench.add_argument("--pes-per-chip", type=int, default=128,
+                        help="PE count of each chip (default: 128)")
+    pbench.add_argument("--repeats", type=int, default=1,
+                        help="best-of repeats per worker count "
+                             "(default: 1)")
+    pbench.add_argument("--seed", type=int, default=7)
+    pbench.add_argument("--out", default=None, metavar="DIR",
+                        help="also write rows as CSV under DIR")
 
     topo = sub.add_parser(
         "shard-topology",
@@ -285,6 +323,7 @@ def main(argv=None):
                 slo_ms=args.slo_ms,
                 arrival=args.arrival or "poisson",
                 max_batch=args.max_batch if args.max_batch is not None else 8,
+                workers=args.sim_workers,
             )
             return _emit(args, "serve_latency", rows, text)
         from repro.serve import compare_caching
@@ -296,6 +335,7 @@ def main(argv=None):
             n_pes=args.pes,
             n_workers=args.workers,
             seed=args.seed,
+            workers=args.sim_workers,
         )
         return _emit(args, "serve_bench", rows, text)
 
@@ -317,8 +357,23 @@ def main(argv=None):
             row_ceiling=args.row_ceiling,
             stragglers=_parse_stragglers(args.straggler, parser),
             seed=args.seed,
+            workers=args.workers,
         )
         return _emit(args, "shard_scaling", rows, text)
+
+    if args.command == "parallel-bench":
+        from repro.analysis import compare_parallel_scaling
+
+        rows, text = compare_parallel_scaling(
+            worker_counts=_parse_pe_counts(args.worker_counts),
+            chip_counts=_parse_pe_counts(args.chips),
+            n_nodes=args.nodes,
+            weak_nodes_per_chip=args.weak_nodes_per_chip,
+            pes_per_chip=args.pes_per_chip,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+        return _emit(args, "parallel_scaling", rows, text)
 
     if args.command == "shard-topology":
         from repro.analysis import compare_shard_topology

@@ -196,6 +196,13 @@ class ClusterConfig:
         a blended mid-round measurement at a fractional onset) and
         migrates work off the slowed chip. None (default) is
         bit-identical to no stragglers.
+    workers:
+        Host processes running the per-chip simulations
+        (:mod:`repro.parallel`). Chips are independent between layer
+        barriers, so their simulations parallelize; results are
+        bit-identical to the sequential path for any value. 1
+        (default) keeps the in-process sequential oracle. This is a
+        *host execution* knob — it never changes a modeled cycle.
     """
 
     n_chips: int = 4
@@ -216,9 +223,11 @@ class ClusterConfig:
     migration_words_per_nnz: float = 2
     row_ceilings: tuple = None
     stragglers: tuple = None
+    workers: int = 1
 
     def __post_init__(self):
         check_positive_int(self.n_chips, "n_chips")
+        check_positive_int(self.workers, "workers")
         if self.chips is not None:
             chips = tuple(self.chips)
             if len(chips) != self.n_chips:
@@ -878,17 +887,25 @@ def _compose_layers(cluster, plan, layers, chip_reports, adjacency, a_hops,
 
 
 def _run_chips(dataset, cluster, plan, layers, cache, name):
-    """One single-chip simulation per chip over its sliced jobs."""
-    chip_reports = []
-    for chip in range(cluster.n_chips):
-        rows = plan.chip_rows(chip)
-        accel = GcnAccelerator.from_jobs(
-            slice_jobs(layers, rows, suffix=f"@{name}/chip{chip}"),
+    """One single-chip simulation per chip over its sliced jobs.
+
+    With ``cluster.workers > 1`` the chip simulations run in the
+    :mod:`repro.parallel` process pool — chips are independent between
+    layer barriers, and the replay protocol keeps the reports and the
+    cache state bit-identical to this function's sequential order.
+    """
+    from repro.parallel import simulate_accels
+
+    accels = [
+        GcnAccelerator.from_jobs(
+            slice_jobs(layers, plan.chip_rows(chip),
+                       suffix=f"@{name}/chip{chip}"),
             cluster.chip_for(chip),
             name=f"{name}/chip{chip}",
         )
-        chip_reports.append(accel.run(cache=cache))
-    return chip_reports
+        for chip in range(cluster.n_chips)
+    ]
+    return simulate_accels(accels, cache=cache, workers=cluster.workers)
 
 
 class _ExplorationCache:
@@ -911,6 +928,12 @@ class _ExplorationCache:
         entry = self._own.lookup(fingerprint, config)
         if entry is None and self._shared is not None:
             entry = self._shared.lookup(fingerprint, config)
+        return entry
+
+    def peek(self, fingerprint, config):
+        entry = self._own.peek(fingerprint, config)
+        if entry is None and self._shared is not None:
+            entry = self._shared.peek(fingerprint, config)
         return entry
 
     def store(self, fingerprint, config, entry):

@@ -20,6 +20,7 @@ restart starts warm.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass
 
 import numpy as np
@@ -116,6 +117,17 @@ class AutotuneCache:
             self._entries[key] = self._entries.pop(key)
         return entry
 
+    def peek(self, fingerprint, config):
+        """Return the cached entry without counting or touching recency.
+
+        The side-effect-free read the parallel backend
+        (:mod:`repro.parallel`) uses to decide which cold simulations to
+        dispatch: probing every key up front must not perturb the
+        hit/miss counters or the LRU order, or the later sequential
+        replay would diverge from the oracle.
+        """
+        return self._entries.get(self.key(fingerprint, config))
+
     def store(self, fingerprint, config, entry):
         """Insert (or overwrite) the tuning state for a key.
 
@@ -139,6 +151,33 @@ class AutotuneCache:
                 oldest = next(iter(self._entries))
                 del self._entries[oldest]
                 self._evictions += 1
+
+    def merge(self, other):
+        """Fold another cache's entries into this one (merge-on-gather).
+
+        Walks ``other`` in its LRU order (least recently used first) and
+        :meth:`store`-s every entry, so merged keys become the most
+        recently used here, ties between the two caches resolve in
+        ``other``'s favor (its entry overwrites), and this cache's
+        ``max_entries`` bound keeps evicting in true recency order.
+        Counters are not transferred — hits/misses describe *this*
+        cache's lookup history, not the donor's. Returns the number of
+        entries merged in.
+
+        This is the deterministic gather path for worker-local caches:
+        merging the same caches in the same order always yields the same
+        contents and LRU order, regardless of how the donors were
+        populated in time.
+        """
+        if not isinstance(other, AutotuneCache):
+            raise ConfigError(
+                f"other must be AutotuneCache, got {type(other).__name__}"
+            )
+        merged = 0
+        for (fingerprint, config), entry in list(other._entries.items()):
+            self.store(fingerprint, config, entry)
+            merged += 1
+        return merged
 
     def clear(self):
         """Drop every entry and reset the counters."""
@@ -169,6 +208,12 @@ class AutotuneCache:
         process would have evicted next. Returns the path actually
         written (numpy appends ``.npz`` when the given path has no
         suffix, and so does this return value).
+
+        The write is atomic: the archive is serialized to a temp file
+        next to ``path`` and moved into place with :func:`os.replace`,
+        so a crash mid-save (or a concurrent saver) never leaves a
+        truncated archive — readers see either the old file or the new
+        one, whole.
         """
         path = str(path)
         if not path.endswith(".npz"):
@@ -201,7 +246,15 @@ class AutotuneCache:
             json.dumps({"version": 2, "entries": index}).encode(),
             dtype=np.uint8,
         )
-        np.savez_compressed(path, **arrays)
+        # Atomic publish: numpy would append ".npz" to a suffix-less
+        # temp name, so the temp path must already carry the suffix.
+        tmp = f"{path}.{os.getpid()}.tmp.npz"
+        try:
+            np.savez_compressed(tmp, **arrays)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
         return path
 
     @classmethod

@@ -29,9 +29,12 @@ loop admits everything at once, flushes, and dispatches batches oldest
 first — reproducing the old planner's order exactly.
 
 The pool is a *model* of a multi-accelerator deployment: instances run
-sequentially in-process (this is a simulator, not a thread pool), but
+in-process by default (this is a simulator, not a thread pool), but
 admission, batch placement, per-instance accounting and cache sharing
-behave as the deployed system would.
+behave as the deployed system would. With ``workers=N`` the underlying
+simulations additionally run on a real :mod:`repro.parallel` process
+pool — a host-execution knob that shrinks wall time while leaving every
+modeled number bit-identical (the sequential path stays the oracle).
 """
 
 from __future__ import annotations
@@ -67,7 +70,10 @@ class WorkerState:
     free_at: float = 0.0
     """Simulated second the instance finishes its current batch."""
     modeled_busy_seconds: float = 0.0
-    """Simulated seconds of modeled hardware time spent serving."""
+    """Simulated seconds the instance was occupied: from the moment it
+    is claimed for a batch (including any reconfiguration penalty) to
+    the batch's finish. Gang members of a sharded job each accrue the
+    full sharded duration."""
     last_key: object = None
     """The (config, a_hops) pair the instance is currently configured
     for (None until its first batch)."""
@@ -278,6 +284,17 @@ class InferenceService:
         still simulate at the request's config (the request defines the
         workload's target architecture; sharding is where the pool's
         physical heterogeneity binds).
+    workers:
+        Host processes running the underlying simulations
+        (:mod:`repro.parallel`): independent queued requests are
+        presimulated in a process pool before the event loop, and
+        sharded jobs run their per-chip simulations in the same pool.
+        1 (default) keeps the in-process sequential oracle. Results —
+        cycles, timestamps, latency traces, cache contents and stats —
+        are bit-identical for any value; only the wall-clock figures
+        (``wall_seconds``, ``busy_seconds``, ``sim_seconds``) shrink.
+        Not to be confused with ``n_workers``, which sizes the
+        *simulated* instance pool.
 
     Units
     -----
@@ -311,8 +328,9 @@ class InferenceService:
     def __init__(self, *, n_workers=2, cache=True, max_batch=None,
                  max_wait=None, shed_expired=False, reconfig_cycles=0,
                  chip_capacity=None, cluster_options=None,
-                 worker_configs=None):
+                 worker_configs=None, workers=1):
         check_positive_int(n_workers, "n_workers")
+        self.sim_workers = check_positive_int(workers, "workers")
         if cache is True:
             cache = AutotuneCache()
         if cache is not None and not isinstance(cache, AutotuneCache):
@@ -362,7 +380,8 @@ class InferenceService:
                     )
         self.worker_configs = worker_configs
         self.cluster_options = dict(cluster_options or {})
-        for reserved in ("n_chips", "chip", "chips", "row_ceilings"):
+        for reserved in ("n_chips", "chip", "chips", "row_ceilings",
+                         "workers"):
             if reserved in self.cluster_options:
                 raise ConfigError(
                     f"cluster_options may not override {reserved!r} "
@@ -370,6 +389,7 @@ class InferenceService:
                 )
         self.workers = [WorkerState(index=i) for i in range(n_workers)]
         self._n_batches = 0
+        self._presim = {}
 
     def submit(self, request):
         """Queue one :class:`~repro.serve.request.InferenceRequest`.
@@ -403,6 +423,28 @@ class InferenceService:
         queued = self.queue.drain()
         for worker in self.workers:
             worker.free_at = 0.0
+        # Parallel backend: run the cold simulations every non-sharded
+        # queued request needs in the process pool up front, then let
+        # the event loop replay them in its own sequential order
+        # (repro.parallel's bit-identity protocol). Sharded jobs
+        # parallelize at chip level inside simulate_multichip_gcn
+        # instead. A request shed later simply wastes its presimulation
+        # — host work, never a modeled cycle.
+        self._presim = {}
+        if self.sim_workers > 1 and queued:
+            from repro.parallel import presimulate
+
+            accels = [
+                GcnAccelerator(
+                    item.request.resolve_graph(), item.request.config,
+                    a_hops=item.request.a_hops,
+                )
+                for item in queued
+                if not self._needs_sharding(item.request)
+            ]
+            self._presim = presimulate(
+                accels, cache=self.cache, workers=self.sim_workers
+            )
         # Without an explicit batch cap, bound batches so one giant
         # config group still spreads over the whole instance pool (each
         # instance configures once and takes a contiguous share) instead
@@ -623,11 +665,13 @@ class InferenceService:
                     self.worker_configs[worker.index] for worker in workers
                 ),
                 row_ceilings=row_ceilings,
+                workers=self.sim_workers,
                 **self.cluster_options,
             )
         return ClusterConfig(
             n_chips=len(workers), chip=request.config,
-            row_ceilings=row_ceilings, **self.cluster_options,
+            row_ceilings=row_ceilings, workers=self.sim_workers,
+            **self.cluster_options,
         )
 
     def _plan_fits(self, gang, request):
@@ -793,10 +837,17 @@ class InferenceService:
         )
         finish = start + service_seconds
         primary = workers[0]
-        primary.requests_served += 1
-        primary.busy_seconds += elapsed
+        # Every gang member served the request and was busy for the
+        # whole sharded run: the request and batch counts go to each
+        # member alike, and the one wall-clock simulation cost is split
+        # evenly (the counters then satisfy the gang invariant —
+        # identical requests_served/batches_served/modeled_busy_seconds
+        # across members, busy_seconds summing to the measured cost —
+        # instead of piling requests and wall time onto workers[0]).
         for worker in workers:
             worker.free_at = finish
+            worker.requests_served += 1
+            worker.busy_seconds += elapsed / len(workers)
             worker.modeled_busy_seconds += finish - clock
             worker.batches_served += 1
         self._n_batches += 1
@@ -853,19 +904,28 @@ class InferenceService:
             results.append((item.seq, result))
         worker.busy_seconds += time.perf_counter() - wall_started
         worker.free_at = now
-        worker.modeled_busy_seconds += now - start
+        # Charged from base_start, not start: the reconfiguration
+        # interval keeps the instance occupied, so excluding it made
+        # utilization denominators disagree with wall-clock occupancy
+        # whenever reconfig_cycles > 0. One consistent definition:
+        # modeled busy time runs from the moment the instance is
+        # claimed (including any reconfiguration) to batch finish —
+        # exactly what the sharded path charges via finish - clock.
+        worker.modeled_busy_seconds += now - base_start
         worker.batches_served += 1
         self._n_batches += 1
 
     def _serve_one(self, item, batch, worker, start):
         """Run one request on one instance and record the outcome."""
+        from repro.parallel import replay_simulation
+
         request = item.request
         dataset = request.resolve_graph()
         started = time.perf_counter()
         accel = GcnAccelerator(
             dataset, request.config, a_hops=request.a_hops
         )
-        report = accel.run(cache=self.cache)
+        report = replay_simulation(accel, self.cache, self._presim)
         elapsed = time.perf_counter() - started
         worker.requests_served += 1
         service_seconds = request.config.cycles_to_seconds(
@@ -918,13 +978,14 @@ class InferenceService:
 def serve_requests(requests, *, n_workers=2, cache=True, max_batch=None,
                    max_wait=None, shed_expired=False, reconfig_cycles=0,
                    chip_capacity=None, cluster_options=None,
-                   worker_configs=None):
+                   worker_configs=None, workers=1):
     """One-shot convenience: submit ``requests``, drain, return outcome."""
     service = InferenceService(
         n_workers=n_workers, cache=cache, max_batch=max_batch,
         max_wait=max_wait, shed_expired=shed_expired,
         reconfig_cycles=reconfig_cycles, chip_capacity=chip_capacity,
         cluster_options=cluster_options, worker_configs=worker_configs,
+        workers=workers,
     )
     service.submit_many(requests)
     return service.drain()

@@ -27,6 +27,7 @@ from repro.analysis.shardscale import (
     compare_shard_scaling,
     compare_shard_topology,
 )
+from repro.analysis.mixedload import compare_mixed_load
 from repro.analysis.straggler import compare_straggler
 from repro.analysis.heatmap import (
     heat_strip,
@@ -55,6 +56,7 @@ __all__ = [
     "compare_parallel_scaling",
     "host_cpu_count",
     "compare_rebalance",
+    "compare_mixed_load",
     "compare_shard_scaling",
     "compare_shard_topology",
     "compare_straggler",

@@ -19,6 +19,7 @@ Usage::
     python -m repro shard-bench --workers 4        # parallel backend
     python -m repro shard-topology [--chips 4] [--aggregate-bandwidth 64]
     python -m repro parallel-bench [--worker-counts 1,2,4]
+    python -m repro mixed-bench [--rates 600,900,1800] [--requests 120]
     python -m repro summary           # dataset inventory
 
 Each command prints the rendered table; ``--out DIR`` additionally
@@ -247,6 +248,38 @@ def build_parser():
     topo.add_argument("--seed", type=int, default=7)
     topo.add_argument("--out", default=None, metavar="DIR",
                       help="also write rows as CSV under DIR")
+
+    mixed = sub.add_parser(
+        "mixed-bench",
+        help=("multi-tenant co-scheduling sweep: identical mixed "
+              "traces (critical smalls + SLO'd batches + sharded "
+              "jobs) served with co-scheduling off vs on, per "
+              "arrival rate"),
+    )
+    mixed.add_argument("--requests", type=int, default=120,
+                       help="requests per trace (default: 120)")
+    mixed.add_argument("--rates", default="600,900,1800",
+                       help="comma-separated arrival rates in req/s "
+                            "(default: 600,900,1800)")
+    mixed.add_argument("--workers", type=int, default=4,
+                       help="simulated accelerator instances "
+                            "(default: 4)")
+    mixed.add_argument("--chip-capacity", type=int, default=1024,
+                       help="per-instance node capacity (default: 1024)")
+    mixed.add_argument("--pes-per-chip", type=int, default=64,
+                       help="PE count of each instance (default: 64)")
+    mixed.add_argument("--critical-fraction", type=float, default=0.25,
+                       help="share of deadline-critical small queries "
+                            "(default: 0.25)")
+    mixed.add_argument("--sharded-fraction", type=float, default=0.15,
+                       help="share of oversized sharded jobs "
+                            "(default: 0.15)")
+    mixed.add_argument("--critical-slo-ms", type=float, default=1.0,
+                       help="SLO of the critical class, also the "
+                            "class-0 threshold (default: 1.0)")
+    mixed.add_argument("--seed", type=int, default=7)
+    mixed.add_argument("--out", default=None, metavar="DIR",
+                       help="also write rows as CSV under DIR")
     return parser
 
 
@@ -388,6 +421,24 @@ def main(argv=None):
             seed=args.seed,
         )
         return _emit(args, "shard_topology", rows, text)
+
+    if args.command == "mixed-bench":
+        from repro.analysis import compare_mixed_load
+
+        rows, text = compare_mixed_load(
+            n_requests=args.requests,
+            rates=tuple(
+                float(x) for x in args.rates.split(",") if x.strip()
+            ),
+            n_workers=args.workers,
+            chip_capacity=args.chip_capacity,
+            pes_per_chip=args.pes_per_chip,
+            critical_fraction=args.critical_fraction,
+            sharded_fraction=args.sharded_fraction,
+            critical_slo_ms=args.critical_slo_ms,
+            seed=args.seed,
+        )
+        return _emit(args, "mixed_load", rows, text)
 
     if args.command == "bench-rebalance":
         from repro.analysis import compare_rebalance

@@ -48,6 +48,7 @@ from repro.cluster.topology import (
     TOPOLOGY_KINDS,
     Topology,
     make_topology,
+    subtopology,
 )
 from repro.cluster.exec import (
     reference_forward,
@@ -78,6 +79,7 @@ __all__ = [
     "halo_exchange",
     "make_plan",
     "make_topology",
+    "subtopology",
     "reference_forward",
     "sharded_gcn_forward",
     "sharded_spmm",

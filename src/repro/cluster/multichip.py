@@ -203,6 +203,18 @@ class ClusterConfig:
         bit-identical to the sequential path for any value. 1
         (default) keeps the in-process sequential oracle. This is a
         *host execution* knob — it never changes a modeled cycle.
+    background_link_loads:
+        Optional per-link word loads (one entry per fabric link, the
+        pool link id space when ``topology`` is a
+        :func:`~repro.cluster.topology.subtopology`) that *other
+        concurrent jobs* put on this cluster's links per halo round.
+        Added to every halo flow's contention term — scaled by the same
+        rounds multiplier as the job's own halo words, so concurrent
+        tenants contend round for round — via the ``background``
+        argument of :meth:`~repro.cluster.topology.Topology.comm_cycles`.
+        None (default) prices an exclusively-owned fabric, bit-identical
+        to before. The serving layer derives this from its active-job
+        registry when fabric co-scheduling is on.
     """
 
     n_chips: int = 4
@@ -224,6 +236,7 @@ class ClusterConfig:
     row_ceilings: tuple = None
     stragglers: tuple = None
     workers: int = 1
+    background_link_loads: tuple = None
 
     def __post_init__(self):
         check_positive_int(self.n_chips, "n_chips")
@@ -298,6 +311,22 @@ class ClusterConfig:
             object.__setattr__(
                 self, "stragglers", tuple(events) if events else None
             )
+        if self.background_link_loads is not None:
+            try:
+                loads = tuple(float(v) for v in self.background_link_loads)
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    "background_link_loads must be a sequence of numbers"
+                )
+            for v in loads:
+                if not math.isfinite(v) or v < 0:
+                    raise ConfigError(
+                        "background_link_loads entries must be finite and "
+                        f">= 0, got {v}"
+                    )
+            # Length is validated against the resolved fabric's link
+            # count at pricing time (the fabric may not be built yet).
+            object.__setattr__(self, "background_link_loads", loads)
 
     @property
     def chip_configs(self):
@@ -844,12 +873,17 @@ def _compose_layers(cluster, plan, layers, chip_reports, adjacency, a_hops,
 
     comm_serial = np.zeros((n_layers, n_chips), dtype=np.int64)
     comm_round = np.zeros(n_chips, dtype=np.int64)
+    background = None
+    if cluster.background_link_loads is not None:
+        background = np.asarray(
+            cluster.background_link_loads, dtype=np.float64
+        )
     if halo is not None:
         halo_words = halo.words.astype(np.float64)
         if cluster.overlap:
             # The exposed tail: one dense column's halo (the first
             # double-buffer fill, which nothing can hide behind).
-            comm_round = fabric.comm_cycles(halo_words)
+            comm_round = fabric.comm_cycles(halo_words, background=background)
 
     chip_compute = np.zeros((n_layers, n_chips), dtype=np.int64)
     chip_costs = np.zeros((n_layers, n_chips), dtype=np.int64)
@@ -857,8 +891,15 @@ def _compose_layers(cluster, plan, layers, chip_reports, adjacency, a_hops,
     for layer in range(n_layers):
         rounds = layers[layer][0].n_rounds
         if halo is not None:
+            # Background traffic is per halo round; scale it by the
+            # same rounds multiplier as the job's own words so
+            # concurrent tenants contend round for round.
             comm_serial[layer] = fabric.comm_cycles(
-                halo_words * (rounds * a_hops)
+                halo_words * (rounds * a_hops),
+                background=(
+                    background * (rounds * a_hops)
+                    if background is not None else None
+                ),
             )
         for chip in range(n_chips):
             base = cluster.ref_cycles(

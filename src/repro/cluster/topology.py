@@ -32,6 +32,17 @@ time is its slowest incoming flow.  Flows over disjoint links overlap
 freely — the fabric is pipelined — but a congested link serializes
 everything crossing it, which is exactly what makes a ring slower than
 all-to-all at equal aggregate bandwidth.
+
+Multi-tenant extension (PR 8): contention was originally summed only
+across *one* job's halo flows.  ``comm_cycles(..., background=...)``
+adds a per-link background load — traffic other concurrent jobs put on
+the same physical links — before the bottleneck division, and
+:meth:`Topology.shared_comm_cycles` prices several jobs' matrices
+against their summed link loads in one call.  ``background=None`` takes
+exactly the single-job code path, bit-identical to before.
+:func:`subtopology` restricts a pool-wide fabric to one gang's chips
+while *preserving pool link ids*, so the background loads of different
+gangs live in one id space and sum meaningfully.
 """
 
 from __future__ import annotations
@@ -143,7 +154,7 @@ class Topology:
                     loads[link] += w
         return loads
 
-    def comm_cycles(self, words):
+    def comm_cycles(self, words, *, background=None):
         """Per-chip ingress cycles for one traffic matrix.
 
         A flow's cost is ``ceil(bottleneck link load / link bandwidth)``
@@ -152,9 +163,18 @@ class Topology:
         ``all-to-all`` with zero hop latency this equals the PR 4 scalar
         model: every flow into ``d`` bottlenecks on the same ingress
         link, whose load is the chip's total halo volume.
+
+        ``background`` is an optional per-link word array (length
+        :attr:`n_links`) of traffic *other* jobs put on the same links;
+        it is added to this matrix's own link loads before the
+        bottleneck division, so a contended link slows every tenant
+        crossing it.  None (the default) prices a fabric this job owns
+        exclusively — the exact historical path.
         """
         words = self._check_matrix(words)
         loads = self.link_loads(words)
+        if background is not None:
+            loads = loads + self._check_background(background)
         out = np.zeros(self.n_chips, dtype=np.int64)
         for dst in range(self.n_chips):
             worst = 0
@@ -169,6 +189,26 @@ class Topology:
                     worst = cost
             out[dst] = worst
         return out
+
+    def shared_comm_cycles(self, matrices):
+        """Per-chip ingress cycles of several concurrent jobs at once.
+
+        ``matrices`` is a sequence of traffic matrices, one per active
+        job on this fabric.  Every link's load is the sum over *all*
+        jobs' flows crossing it, and each job is then priced against
+        those totals — two jobs sharing a link each pay for the combined
+        traffic, while jobs on disjoint links do not interact.  Returns
+        one per-chip cycle array per job, in input order.  With a single
+        matrix this equals ``comm_cycles(matrix)`` exactly.
+        """
+        mats = [self._check_matrix(m) for m in matrices]
+        own = [self.link_loads(m) for m in mats]
+        total = np.sum(own, axis=0) if own else None
+        return tuple(
+            self.comm_cycles(m, background=total - mine if len(mats) > 1
+                             else None)
+            for m, mine in zip(mats, own)
+        )
 
     def transfer_cycles(self, src, dst, words):
         """Cycles for one uncontended ``src -> dst`` transfer of ``words``.
@@ -190,6 +230,20 @@ class Topology:
                 f"got {words.shape}"
             )
         return words
+
+    def _check_background(self, background):
+        background = np.asarray(background, dtype=np.float64)
+        expected = max(self.n_links, 1)
+        if background.shape != (expected,):
+            raise ConfigError(
+                f"background link loads must have shape ({expected},) — one "
+                f"entry per fabric link — got {background.shape}"
+            )
+        if not np.all(np.isfinite(background)) or np.any(background < 0):
+            raise ConfigError(
+                "background link loads must be finite and >= 0"
+            )
+        return background
 
     def __repr__(self):
         return (
@@ -297,6 +351,48 @@ _BUILDERS = {
     "ring": _ring_routes,
     "mesh2d": _mesh2d_routes,
 }
+
+
+def subtopology(topology, chips):
+    """Restrict a pool-wide fabric to one gang's chips.
+
+    ``chips`` are distinct pool chip ids; local chip ``i`` of the
+    restricted fabric is pool chip ``chips[i]``, and its routes are the
+    pool routes between the selected chips verbatim.  Crucially the
+    *link id space is preserved* (``n_links`` stays the pool's), so
+    per-link loads computed by different gangs on the same pool — the
+    ``background`` argument of :meth:`Topology.comm_cycles` — refer to
+    the same physical links and can be summed.  On an all-to-all pool
+    the restriction prices identically to a dedicated all-to-all fabric
+    of the gang's size (each member keeps its private ingress link); on
+    a ring or mesh the gang members keep their *pool* positions, so a
+    scattered gang pays the pool's real multi-hop routes.
+    """
+    if not isinstance(topology, Topology):
+        raise ConfigError(
+            f"subtopology expects a Topology, got {type(topology).__name__}"
+        )
+    chips = [int(c) for c in chips]
+    if not chips:
+        raise ConfigError("subtopology needs at least one chip")
+    if len(set(chips)) != len(chips):
+        raise ConfigError(f"subtopology chips must be distinct, got {chips}")
+    for c in chips:
+        if not 0 <= c < topology.n_chips:
+            raise ConfigError(
+                f"chip {c} out of range for a {topology.n_chips}-chip fabric"
+            )
+    routes = tuple(
+        tuple(topology.routes[dst][src] for src in chips) for dst in chips
+    )
+    return Topology(
+        kind=topology.kind,
+        n_chips=len(chips),
+        link_words_per_cycle=topology.link_words_per_cycle,
+        hop_latency_cycles=topology.hop_latency_cycles,
+        routes=routes,
+        n_links=topology.n_links,
+    )
 
 
 def make_topology(kind, n_chips, *, link_words_per_cycle=8.0,

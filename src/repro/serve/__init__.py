@@ -22,12 +22,17 @@ time with latency SLOs. This package adds that layer:
   (``shed_expired`` rejects requests whose deadline expired, reported
   via ``ServiceStats.shed_rate``), reconfiguration pricing
   (``reconfig_cycles`` charged when an instance switches configs
-  between batches), and sharded dispatch (``chip_capacity`` plans
+  between batches), sharded dispatch (``chip_capacity`` plans
   oversized graphs as :mod:`repro.cluster` multi-chip jobs
-  gang-scheduled across the pool);
-* :mod:`repro.serve.traffic`   — fixed-seed RMAT request mixes and
-  Poisson/bursty arrival processes for the serving benchmarks
-  (``repro serve-bench``, ``benchmarks/bench_serve_*.py``).
+  gang-scheduled across the pool), and multi-tenant co-scheduling
+  (``coschedule`` adds gang claims, priority classes, boundary
+  preemption and shared-fabric pricing; off by default and
+  bit-identical to the exclusive-gang service);
+* :mod:`repro.serve.traffic`   — fixed-seed RMAT request mixes,
+  Poisson/bursty arrival processes and the multi-tenant
+  :func:`mixed_traffic` regime for the serving benchmarks
+  (``repro serve-bench``, ``repro mixed-bench``,
+  ``benchmarks/bench_serve_*.py``).
 
 Quickstart::
 
@@ -67,6 +72,7 @@ from repro.serve.traffic import (
     RmatGraphSpec,
     bursty_arrivals,
     clear_graph_cache,
+    mixed_traffic,
     poisson_arrivals,
     streaming_traffic,
     synthetic_traffic,
@@ -94,6 +100,7 @@ __all__ = [
     "RmatGraphSpec",
     "bursty_arrivals",
     "clear_graph_cache",
+    "mixed_traffic",
     "poisson_arrivals",
     "streaming_traffic",
     "synthetic_traffic",

@@ -49,6 +49,15 @@ class InferenceRequest:
         cuts a batch early when a member's deadline
         (``arrival_time + slo_ms``) is about to expire; the result
         records whether the SLO was met. None means no deadline.
+    priority:
+        Optional explicit priority class (a non-negative int, lower =
+        more urgent). None (default) lets the service derive the class
+        from SLO slack via :meth:`priority_class`: 0 (deadline-critical)
+        when ``slo_ms`` is at or under the service's critical
+        threshold, 1 for any other SLO-carrying request, 2 (best
+        effort) without an SLO. Priorities only steer scheduling when
+        the service runs with co-scheduling enabled; the default
+        service ignores them.
     """
 
     graph: object
@@ -57,6 +66,7 @@ class InferenceRequest:
     request_id: object = None
     arrival_time: float = 0.0
     slo_ms: float = None
+    priority: int = None
 
     def __post_init__(self):
         if not isinstance(self.config, ArchConfig):
@@ -92,6 +102,28 @@ class InferenceRequest:
                     f"slo_ms must be finite and > 0, got {slo}"
                 )
             object.__setattr__(self, "slo_ms", slo)
+        if self.priority is not None:
+            if not isinstance(self.priority, int) or self.priority < 0:
+                raise ConfigError(
+                    "priority must be a non-negative int or None, got "
+                    f"{self.priority!r}"
+                )
+
+    def priority_class(self, critical_slo_ms=None):
+        """The request's effective priority class (lower = more urgent).
+
+        An explicit :attr:`priority` always wins. Otherwise the class
+        derives from SLO slack: 0 (deadline-critical) when ``slo_ms``
+        is at or under ``critical_slo_ms``, 1 for any other
+        SLO-carrying request, 2 (best effort) when no SLO is set.
+        """
+        if self.priority is not None:
+            return self.priority
+        if self.slo_ms is None:
+            return 2
+        if critical_slo_ms is not None and self.slo_ms <= critical_slo_ms:
+            return 0
+        return 1
 
     @property
     def deadline(self):
@@ -160,6 +192,14 @@ class InferenceResult:
     """How many accelerator instances executed this request (1 for the
     normal single-chip path; >1 when the graph exceeded the service's
     per-chip capacity and ran as a sharded multi-chip job)."""
+    priority: int = None
+    """The priority class the request was scheduled at (only populated
+    by a co-scheduling service; None otherwise)."""
+    preemptions: int = 0
+    """How many times this (sharded) job was preempted at a layer
+    boundary by a deadline-critical request and later resumed. The
+    modeled cycle total is conserved across preemptions — only the
+    serving timeline stretches."""
 
     @property
     def modeled_seconds(self):

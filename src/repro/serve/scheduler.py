@@ -247,6 +247,19 @@ class StreamingScheduler:
         :class:`~repro.serve.request.InferenceResult` outcomes) instead
         of being served hopelessly late. Default False preserves the
         historical serve-late behavior bit-for-bit.
+    priorities:
+        Priority-class mode (the co-scheduling service turns this on):
+        the grouping key gains the request's
+        :meth:`~repro.serve.request.InferenceRequest.priority_class`
+        (batches are priority-pure — a best-effort request never rides
+        in front of a critical one by sharing its batch), and the ready
+        queue orders by ``(class, deadline, arrival)`` so a lower class
+        always dispatches first. Default False is bit-identical to the
+        historical ``(deadline, arrival)`` EDF order.
+    critical_slo_ms:
+        The SLO threshold (ms) at or under which a request without an
+        explicit priority derives class 0 (deadline-critical). Only
+        consulted when ``priorities`` is on.
 
     All times this class consumes and produces — :meth:`cut_due` /
     :meth:`next_cut_time` instants, deadlines, :meth:`observe` service
@@ -258,10 +271,13 @@ class StreamingScheduler:
     reports it as an SLO miss).
     """
 
-    def __init__(self, *, max_batch=None, max_wait=None, shed_expired=False):
+    def __init__(self, *, max_batch=None, max_wait=None, shed_expired=False,
+                 priorities=False, critical_slo_ms=None):
         self.max_batch = _check_max_batch(max_batch)
         self.max_wait = _check_max_wait(max_wait)
         self.shed_expired = bool(shed_expired)
+        self.priorities = bool(priorities)
+        self.critical_slo_ms = critical_slo_ms
         self._groups = {}
         self._order = []
         self._estimates = {}
@@ -292,7 +308,7 @@ class StreamingScheduler:
             raise ConfigError(
                 f"admit expects a QueuedRequest, got {type(item).__name__}"
             )
-        key = (item.request.config, item.request.a_hops)
+        key = self._group_key(item.request)
         group = self._groups.get(key)
         if group is None:
             group = self._groups[key] = []
@@ -301,6 +317,20 @@ class StreamingScheduler:
         group.append(item)
         if self.max_batch is not None and len(group) >= self.max_batch:
             self._cut(key, item.arrival_time if now is None else now)
+
+    def _group_key(self, request):
+        """The grouping key one request batches under.
+
+        ``(config, a_hops)`` historically; with :attr:`priorities` the
+        priority class is appended so batches stay priority-pure. The
+        first two elements are always the reconfiguration surface — the
+        service keys instance state and service-time estimates off
+        ``key[:2]``.
+        """
+        key = (request.config, request.a_hops)
+        if self.priorities:
+            key = key + (request.priority_class(self.critical_slo_ms),)
+        return key
 
     def observe(self, config, a_hops, seconds):
         """Feed back one served request's modeled service time.
@@ -319,11 +349,23 @@ class StreamingScheduler:
         else:
             self._estimates[key] = 0.5 * previous + 0.5 * seconds
 
+    def request_class(self, request):
+        """The priority class this scheduler assigns one request.
+
+        2 (best effort) and below only matter with :attr:`priorities`
+        on; without it every request is class 2-equivalent and the EDF
+        order ignores the value entirely.
+        """
+        return request.priority_class(self.critical_slo_ms)
+
     def _cut_time(self, key):
         """Simulated second at which this group must be sealed."""
         group = self._groups[key]
         tightest = min(item.deadline for item in group)
-        estimate = self._estimates.get(key, 0.0) * len(group)
+        # Estimates are keyed by the hardware surface alone — the
+        # priority suffix of a 3-element group key carries no service
+        # time information.
+        estimate = self._estimates.get(key[:2], 0.0) * len(group)
         when = tightest - estimate
         if self.max_wait is not None:
             when = min(when, group[0].arrival_time + self.max_wait)
@@ -386,9 +428,13 @@ class StreamingScheduler:
             if not items:
                 return
         deadline = min(item.deadline for item in items)
-        heapq.heappush(
-            self._ready, (deadline, items[0].seq, key, tuple(items))
-        )
+        if self.priorities:
+            # Class-major EDF: a lower class always dispatches first;
+            # within a class the historical (deadline, arrival) order.
+            entry = (key[2], deadline, items[0].seq, key, tuple(items))
+        else:
+            entry = (deadline, items[0].seq, key, tuple(items))
+        heapq.heappush(self._ready, entry)
 
     def peek_ready(self):
         """The EDF-first ready batch's member tuple, without dispatching.
@@ -399,7 +445,7 @@ class StreamingScheduler:
         """
         if not self._ready:
             raise ConfigError("peek_ready on an empty ready queue")
-        return self._ready[0][3]
+        return self._ready[0][-1]
 
     def pop_ready(self):
         """Remove and return the EDF-first ready :class:`Batch`.
@@ -409,7 +455,8 @@ class StreamingScheduler:
         """
         if not self._ready:
             raise ConfigError("pop_ready on an empty ready queue")
-        _deadline, _seq, key, items = heapq.heappop(self._ready)
+        entry = heapq.heappop(self._ready)
+        key, items = entry[-2], entry[-1]
         batch = Batch(index=self._n_dispatched, config=key[0], items=items)
         self._n_dispatched += 1
         return batch

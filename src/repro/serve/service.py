@@ -35,17 +35,36 @@ behave as the deployed system would. With ``workers=N`` the underlying
 simulations additionally run on a real :mod:`repro.parallel` process
 pool — a host-execution knob that shrinks wall time while leaving every
 modeled number bit-identical (the sequential path stays the oracle).
+
+Multi-tenant co-scheduling (PR 8, ``coschedule=True``) unifies the
+batch and sharded paths into one pool: a waiting gang *claims* its
+planned members (claimed instances finish their current batch and take
+no new one, so the gang assembles at a bounded instant instead of
+racing batch traffic for simultaneous idleness), requests carry
+priority classes derived from SLO slack (``critical_slo_ms``), a
+deadline-critical batch may *preempt* a lower-priority sharded job at a
+layer boundary (the remainder resumes on the same gang, cycle totals
+conserved), and concurrent sharded jobs price their halo traffic on one
+shared pool fabric (per-link background loads summing across jobs).
+All of it defaults off — the default service is bit-identical to
+before. Independent of the flag, the sharded queue uses EASY-style
+backfill: when the head job cannot possibly assemble yet, a later
+sharded job may run on idle instances iff it cannot delay the head's
+planned assembly (screened against its exact modeled duration).
 """
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+
+import numpy as np
 
 from repro.accel.gcnaccel import GcnAccelerator
 from repro.cluster.multichip import ClusterConfig, simulate_multichip_gcn
-from repro.cluster.partition import make_plan
+from repro.cluster.partition import halo_exchange, make_plan
+from repro.cluster.topology import Topology, make_topology, subtopology
 from repro.errors import CeilingError, ConfigError
 from repro.serve.cache import AutotuneCache
 from repro.serve.request import InferenceResult
@@ -80,6 +99,70 @@ class WorkerState:
     reconfigs: int = 0
     """How many times the instance switched configurations between
     batches (each charged ``reconfig_cycles`` when that is non-zero)."""
+
+
+class _ScreenCache:
+    """Zero-footprint read-through cache for backfill screening.
+
+    The backfill screen simulates a candidate sharded job to learn its
+    exact modeled duration *before* deciding whether it may dispatch —
+    a scheduling probe that must leave the shared serving cache
+    untouched: lookups go through :meth:`AutotuneCache.peek` (no stats,
+    no LRU promotion) and stores land in a private throwaway layer.
+    When the job later really dispatches, it re-runs against the shared
+    cache in dispatch order, so cache contents, stats and LRU order
+    stay identical to a service that never screened anything.
+    """
+
+    def __init__(self, shared):
+        self._own = AutotuneCache()
+        self._shared = shared
+
+    def lookup(self, fingerprint, config):
+        entry = self._own.lookup(fingerprint, config)
+        if entry is None and self._shared is not None:
+            entry = self._shared.peek(fingerprint, config)
+        return entry
+
+    def peek(self, fingerprint, config):
+        entry = self._own.peek(fingerprint, config)
+        if entry is None and self._shared is not None:
+            entry = self._shared.peek(fingerprint, config)
+        return entry
+
+    def store(self, fingerprint, config, entry):
+        self._own.store(fingerprint, config, entry)
+
+
+@dataclass
+class _ActiveJob:
+    """One running (or boundary-preempted) sharded job's live state."""
+
+    seq: int
+    gang: list
+    """The member :class:`WorkerState` objects, in gang order."""
+    priority: int
+    start: float
+    finish: float
+    """Projected finish on the simulated clock (updated on resume)."""
+    boundaries: list
+    """Absolute simulated seconds of the remaining layer boundaries —
+    the only instants the job may be preempted at."""
+    flows: object = None
+    """Per-link halo words (pool link id space) this job keeps on the
+    shared fabric per round, or None for single-chip/clamped gangs."""
+    constrained: bool = True
+    preempted: bool = False
+    remaining: float = 0.0
+    """Modeled seconds of work left past the preemption boundary."""
+    rel_boundaries: tuple = ()
+    """Remaining boundary offsets relative to the preemption boundary,
+    re-anchored at resume."""
+    grant: int = None
+    """Worker index the preempting batch may use (the rest of the gang
+    is claimed for the resume)."""
+    grant_used: bool = False
+    resumes: int = 0
 
 
 def percentile(values, q):
@@ -170,6 +253,12 @@ class ServiceStats:
     counted inside ``n_requests``."""
     n_sharded: int = 0
     """Requests served as multi-chip sharded jobs (``chip_capacity``)."""
+    n_backfilled: int = 0
+    """Sharded jobs dispatched by the EASY backfill screen while the
+    queue head was still assembling its gang."""
+    n_preemptions: int = 0
+    """Boundary preemptions of sharded jobs by deadline-critical
+    requests (``coschedule`` only)."""
 
     @property
     def shed_rate(self):
@@ -295,6 +384,33 @@ class InferenceService:
         (``wall_seconds``, ``busy_seconds``, ``sim_seconds``) shrink.
         Not to be confused with ``n_workers``, which sizes the
         *simulated* instance pool.
+    coschedule:
+        Multi-tenant co-scheduling of batch and sharded traffic.
+        Enables (1) *gang claims*: while the head sharded job waits for
+        members, its planned instances stop taking new batches at their
+        next batch boundary, so the gang assembles at a bounded instant
+        instead of racing batch traffic; (2) *priority classes*: the
+        streaming scheduler groups and dispatches class-major
+        (``(class, deadline, arrival)``), with classes derived per
+        request via
+        :meth:`~repro.serve.request.InferenceRequest.priority_class`;
+        (3) *boundary preemption*: a class-0 (deadline-critical) batch
+        with no free fitting instance preempts the lower-priority
+        active sharded job with the earliest upcoming layer boundary —
+        the gang frees at that boundary, one granted member serves the
+        critical batch, and the remainder resumes on the same gang with
+        the modeled cycle total conserved; (4) *fabric sharing*:
+        concurrent sharded jobs run on per-gang restrictions of one
+        pool-wide fabric (:func:`~repro.cluster.topology.subtopology`
+        of the ``cluster_options`` topology kind) and each new job
+        prices its halo flows against the per-link background traffic
+        of jobs already running. Default False is bit-identical to the
+        exclusive-gang service.
+    critical_slo_ms:
+        SLO threshold (ms) at or under which a request without an
+        explicit ``priority`` derives class 0 (deadline-critical) under
+        ``coschedule``. None means only explicit priorities can reach
+        class 0.
 
     Units
     -----
@@ -328,7 +444,8 @@ class InferenceService:
     def __init__(self, *, n_workers=2, cache=True, max_batch=None,
                  max_wait=None, shed_expired=False, reconfig_cycles=0,
                  chip_capacity=None, cluster_options=None,
-                 worker_configs=None, workers=1):
+                 worker_configs=None, workers=1, coschedule=False,
+                 critical_slo_ms=None):
         check_positive_int(n_workers, "n_workers")
         self.sim_workers = check_positive_int(workers, "workers")
         if cache is True:
@@ -381,15 +498,43 @@ class InferenceService:
         self.worker_configs = worker_configs
         self.cluster_options = dict(cluster_options or {})
         for reserved in ("n_chips", "chip", "chips", "row_ceilings",
-                         "workers"):
+                         "workers", "background_link_loads"):
             if reserved in self.cluster_options:
                 raise ConfigError(
                     f"cluster_options may not override {reserved!r} "
                     "(derived per sharded job)"
                 )
+        self.coschedule = bool(coschedule)
+        if critical_slo_ms is not None:
+            try:
+                critical_slo_ms = float(critical_slo_ms)
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    "critical_slo_ms must be a number or None, got "
+                    f"{type(critical_slo_ms).__name__}"
+                )
+            if not math.isfinite(critical_slo_ms) or critical_slo_ms <= 0.0:
+                raise ConfigError(
+                    "critical_slo_ms must be finite and > 0, got "
+                    f"{critical_slo_ms}"
+                )
+        self.critical_slo_ms = critical_slo_ms
+        if self.coschedule and isinstance(
+            self.cluster_options.get("topology"), Topology
+        ):
+            raise ConfigError(
+                "coschedule needs a topology *kind* in cluster_options "
+                "(the pool-wide fabric is built per pool, then restricted "
+                "per gang); a prebuilt Topology cannot be re-sized"
+            )
         self.workers = [WorkerState(index=i) for i in range(n_workers)]
         self._n_batches = 0
         self._presim = {}
+        self._pool_fabric_cache = None
+        self._active = []
+        self._screen_memo = {}
+        self._drain_preemptions = 0
+        self._drain_backfills = 0
 
     def submit(self, request):
         """Queue one :class:`~repro.serve.request.InferenceRequest`.
@@ -453,15 +598,23 @@ class InferenceService:
         if cap is None and len(self.workers) > 1:
             cap = -(-len(queued) // len(self.workers)) or None
         stream = StreamingScheduler(max_batch=cap, max_wait=self.max_wait,
-                                    shed_expired=self.shed_expired)
+                                    shed_expired=self.shed_expired,
+                                    priorities=self.coschedule,
+                                    critical_slo_ms=self.critical_slo_ms)
 
         results = []
         sharded = []  # FIFO of oversized requests awaiting enough chips
         clock = 0.0
         i, n = 0, len(queued)
         batches_before = self._n_batches
+        self._active = []
+        self._screen_memo = {}
+        self._drain_preemptions = 0
+        self._drain_backfills = 0
+        last_snapshot = None
         started = time.perf_counter()
-        while i < n or stream.pending or stream.ready or sharded:
+        while (i < n or stream.pending or stream.ready or sharded
+               or any(entry.preempted for entry in self._active)):
             # Admit everything that has arrived by now. Size cuts
             # happen inside admit(), in arrival order; graphs over the
             # per-chip capacity divert to the sharded-job queue.
@@ -481,13 +634,21 @@ class InferenceService:
             # Record anything admission control shed at the cuts above.
             for item, when in stream.take_shed():
                 results.append((item.seq, self._shed_result(item, when)))
-            # Sharded jobs dispatch first, earliest deadline first with
-            # oldest-arrival tie-break (plain FIFO when nothing carries
-            # an SLO), whenever enough instances are simultaneously
-            # idle; they gang-schedule the lowest-indexed free
-            # instances whose capacities cover the graph. The EDF head
-            # never gets jumped: an undispatchable head blocks the
-            # sharded queue rather than starve behind smaller jobs.
+            # Sharded jobs dispatch first, in priority-then-EDF order
+            # with oldest-arrival tie-break (plain FIFO when nothing
+            # carries an SLO), whenever enough instances are
+            # simultaneously idle; they gang-schedule the lowest-indexed
+            # free instances whose capacities cover the graph. The queue
+            # head never gets *delayed*: a blocked head plans its gang
+            # on the pool's free_at timeline (EASY reservation), and a
+            # later job may only backfill onto idle instances when that
+            # cannot push the head's planned assembly back — either it
+            # avoids the reserved instances entirely, or its exact
+            # screened duration proves they are free again in time.
+            if self.coschedule:
+                self._retire_active(clock)
+            claims = self._resume_claims() if self.coschedule else set()
+            reserved = set()
             while sharded:
                 head_at = self._sharded_head(sharded)
                 head = sharded[head_at]
@@ -495,46 +656,152 @@ class InferenceService:
                     sharded.pop(head_at)
                     results.append((head.seq, self._shed_result(head, clock)))
                     continue
-                free = [w for w in self.workers if w.free_at <= clock]
+                free = [w for w in self.workers
+                        if w.free_at <= clock and w.index not in claims]
                 picked = self._shard_gang(free, head.request)
-                if picked is None:
+                if picked is not None:
+                    gang, constrained = picked
+                    sharded.pop(head_at)
+                    self._serve_sharded(head, gang, clock, results,
+                                        constrained=constrained)
+                    continue
+                planned = self._planned_gang(head.request, exclude=claims)
+                if planned is None:
                     break
-                gang, constrained = picked
-                sharded.pop(head_at)
-                self._serve_sharded(head, gang, clock, results,
-                                    constrained=constrained)
-            # Hand sealed batches, tightest deadline first, to free
-            # instances (lowest index when several are free). With
-            # per-worker capacities, only an instance that fits the
-            # batch's largest graph qualifies — a small chip must not
-            # receive a graph its capacity says it cannot hold.
+                t_head, head_gang = planned
+                if self.coschedule:
+                    # Claim the planned members: from now until the
+                    # gang assembles they take no new batch, so t_head
+                    # is an upper bound, not a moving target.
+                    reserved = set(head_gang)
+                if len(sharded) == 1:
+                    break
+                dispatched = False
+                order = sorted(
+                    (j for j in range(len(sharded)) if j != head_at),
+                    key=lambda j: self._sharded_key(sharded[j]),
+                )
+                for j in order:
+                    cand = sharded[j]
+                    if self.shed_expired and cand.deadline < clock:
+                        continue
+                    unreserved = [
+                        w for w in free if w.index not in head_gang
+                    ]
+                    picked = self._shard_gang(unreserved, cand.request,
+                                              clamp=False)
+                    if picked is None:
+                        # Reserved instances are idle until t_head; the
+                        # candidate may borrow them iff its exact
+                        # modeled duration returns them in time.
+                        picked = self._shard_gang(free, cand.request,
+                                                  clamp=False)
+                        if picked is not None:
+                            gang, constrained = picked
+                            would_end = self._would_start(
+                                gang, cand.request, clock
+                            ) + self._screen_duration(
+                                cand, gang, constrained, clock
+                            )
+                            if would_end > t_head:
+                                picked = None
+                    if picked is None:
+                        continue
+                    gang, constrained = picked
+                    sharded.pop(j)
+                    self._serve_sharded(cand, gang, clock, results,
+                                        constrained=constrained)
+                    self._drain_backfills += 1
+                    dispatched = True
+                    break
+                if not dispatched:
+                    break
+            # Hand sealed batches, tightest deadline first (class-major
+            # under co-scheduling), to free instances (lowest index when
+            # several are free). With per-worker capacities, only an
+            # instance that fits the batch's largest graph qualifies — a
+            # small chip must not receive a graph its capacity says it
+            # cannot hold. Claimed instances (gang reservations, pending
+            # resumes) take no new batch; a deadline-critical batch with
+            # nowhere to go may arm a boundary preemption instead.
+            claimed = claims | reserved
             while stream.ready:
                 needed = self._batch_nodes(stream.peek_ready())
-                worker = self._free_worker(clock, needed)
+                worker = self._free_worker(clock, needed, claimed=claimed)
                 if worker is None:
+                    if self.coschedule and self._active:
+                        self._maybe_preempt(stream.peek_ready(), needed,
+                                            clock)
                     break
+                if self.coschedule:
+                    for entry in self._active:
+                        if (entry.preempted and not entry.grant_used
+                                and entry.grant == worker.index):
+                            entry.grant_used = True
                 self._serve_batch(stream.pop_ready(), worker, clock,
                                   stream, results)
+            if self.coschedule:
+                self._process_resumes(clock, results)
             # Advance the clock to the next event: an arrival, a
-            # deadline-forced cut, an instance freeing up, or enough
-            # instances freeing up for the head sharded job.
+            # deadline-forced cut, an unclaimed instance freeing up, the
+            # head sharded job's planned assembly, a backfill
+            # opportunity (any instance freeing while the head waits),
+            # or a preempted gang coming back together.
             horizon = []
             if i < n:
                 horizon.append(queued[i].arrival_time)
             if stream.pending:
                 horizon.append(stream.next_cut_time())
+            claimed = (self._resume_claims() | reserved
+                       if self.coschedule else set())
             if stream.ready:
                 needed = self._batch_nodes(stream.peek_ready())
-                horizon.append(min(
+                frees = [
                     w.free_at for w in self.workers
                     if self._worker_fits(w.index, needed)
-                ))
+                    and w.index not in claimed
+                ]
+                if frees:
+                    horizon.append(min(frees))
             if sharded:
                 head = sharded[self._sharded_head(sharded)]
-                horizon.append(self._gang_ready_time(head.request))
+                planned = self._planned_gang(
+                    head.request, exclude=self._resume_claims()
+                    if self.coschedule else frozenset()
+                )
+                if planned is not None:
+                    horizon.append(planned[0])
+                if len(sharded) > 1:
+                    busy = [w.free_at for w in self.workers
+                            if w.free_at > clock]
+                    if busy:
+                        horizon.append(min(busy))
+            if self.coschedule:
+                for entry in self._active:
+                    if entry.preempted:
+                        horizon.append(max(
+                            w.free_at for w in entry.gang
+                        ))
             if not horizon:
                 break
             clock = max(clock, min(horizon))
+            # Livelock backstop: two identical consecutive snapshots
+            # mean no event can ever fire again — fail loudly instead
+            # of spinning (a claimed-worker accounting bug would
+            # otherwise hang the caller silently).
+            snapshot = (
+                clock, i, len(results), len(sharded),
+                int(stream.ready), int(stream.pending),
+                self._n_batches,
+                tuple(w.free_at for w in self.workers),
+                tuple(entry.preempted for entry in self._active),
+            )
+            if snapshot == last_snapshot:
+                raise RuntimeError(
+                    "serving event loop stalled: no event advanced the "
+                    f"clock past {clock} (co-scheduling claim bug?)"
+                )
+            last_snapshot = snapshot
         wall = time.perf_counter() - started
 
         results.sort(key=lambda pair: pair[0])
@@ -563,11 +830,15 @@ class InferenceService:
             return True
         return self._capacity_of(index) >= nodes
 
-    def _free_worker(self, clock, nodes=0):
-        """The lowest-indexed fitting instance idle at ``clock``, or None."""
+    def _free_worker(self, clock, nodes=0, claimed=frozenset()):
+        """The lowest-indexed fitting instance idle at ``clock``, or None.
+
+        ``claimed`` instances (reserved for a waiting gang or a pending
+        resume under ``coschedule``) are passed over even when idle.
+        """
         for worker in self.workers:
-            if worker.free_at <= clock and self._worker_fits(worker.index,
-                                                             nodes):
+            if (worker.free_at <= clock and worker.index not in claimed
+                    and self._worker_fits(worker.index, nodes)):
                 return worker
         return None
 
@@ -588,17 +859,31 @@ class InferenceService:
         )
         return request.graph_nodes() > largest
 
-    @staticmethod
-    def _sharded_head(sharded):
-        """Index of the EDF-first sharded job (oldest arrival on ties).
+    def _class_of(self, request):
+        """The request's effective priority class under this service."""
+        return request.priority_class(self.critical_slo_ms)
+
+    def _sharded_key(self, item):
+        """Sort key of one queued sharded job.
+
+        EDF with oldest-arrival tie-break by default; under
+        ``coschedule`` the priority class majors it (a critical sharded
+        job jumps any later-deadline best-effort one).
+        """
+        if self.coschedule:
+            return (self._class_of(item.request), item.deadline, item.seq)
+        return (item.deadline, item.seq)
+
+    def _sharded_head(self, sharded):
+        """Index of the first sharded job in :meth:`_sharded_key` order.
 
         Deadlines are infinite without an SLO, so an SLO-less queue
         degenerates to FIFO (lowest sequence number = index 0).
         """
         head = 0
         for i in range(1, len(sharded)):
-            if (sharded[i].deadline, sharded[i].seq) < (
-                sharded[head].deadline, sharded[head].seq
+            if self._sharded_key(sharded[i]) < self._sharded_key(
+                sharded[head]
             ):
                 head = i
         return head
@@ -656,8 +941,22 @@ class InferenceService:
         """The gang members' node capacities as hard row ceilings."""
         return tuple(self._capacity_of(worker.index) for worker in gang)
 
-    def _gang_cluster(self, workers, request, *, row_ceilings=None):
-        """The :class:`ClusterConfig` a sharded run on ``workers`` uses."""
+    def _gang_cluster(self, workers, request, *, row_ceilings=None,
+                      topology=None, background=None):
+        """The :class:`ClusterConfig` a sharded run on ``workers`` uses.
+
+        Under ``coschedule``, ``topology`` carries the gang's
+        restriction of the pool fabric (overriding the kind string in
+        ``cluster_options``) and ``background`` the per-link loads of
+        the other jobs concurrently on it.
+        """
+        opts = dict(self.cluster_options)
+        if topology is not None:
+            opts["topology"] = topology
+        if background is not None:
+            opts["background_link_loads"] = tuple(
+                float(x) for x in background
+            )
         if self.worker_configs is not None:
             return ClusterConfig(
                 n_chips=len(workers),
@@ -666,12 +965,12 @@ class InferenceService:
                 ),
                 row_ceilings=row_ceilings,
                 workers=self.sim_workers,
-                **self.cluster_options,
+                **opts,
             )
         return ClusterConfig(
             n_chips=len(workers), chip=request.config,
             row_ceilings=row_ceilings, workers=self.sim_workers,
-            **self.cluster_options,
+            **opts,
         )
 
     def _plan_fits(self, gang, request):
@@ -705,7 +1004,7 @@ class InferenceService:
             return False
         return True
 
-    def _shard_gang(self, free, request):
+    def _shard_gang(self, free, request, *, clamp=True):
         """The gang a sharded request runs on: ``(gang, constrained)``.
 
         The first index-ordered prefix of ``free`` containing a gang
@@ -720,36 +1019,285 @@ class InferenceService:
         with ``constrained`` False (capacities become best-effort — the
         pool physically cannot honor them); otherwise an insufficient
         *free* set returns None and the job waits for more instances to
-        idle.
+        idle. ``clamp=False`` disables the pool-clamp fallback — the
+        backfill path uses it so only the queue head may ever
+        monopolize the whole pool best-effort.
         """
         nodes = request.graph_nodes()
         for end in range(1, len(free) + 1):
             gang = self._fit_gang(free[:end], nodes)
             if gang and self._plan_fits(gang, request):
                 return gang, True
-        if free and len(free) == len(self.workers):
+        if clamp and free and len(free) == len(self.workers):
             return list(free), False
         return None
 
-    def _gang_ready_time(self, request):
-        """Earliest simulated second a feasible gang could assemble.
+    def _planned_gang(self, request, *, exclude=frozenset()):
+        """``(ready_time, member_indices)`` of the head job's plan.
 
-        Scans instances in ``free_at`` order: at each instant the
-        candidate set is exactly the set :meth:`_shard_gang` will see,
-        and its combined predicate (:meth:`_fit_gang` plus
-        :meth:`_plan_fits`) is order-independent, so the returned time
-        is one at which dispatch really succeeds — the event loop never
-        advances to a horizon that cannot make progress. The fallback
-        (every instance idle) is exactly the pool-clamp case, which
-        always dispatches.
+        Scans non-excluded instances in ``free_at`` order (index-stable
+        on ties): at each instant the candidate set is exactly the set
+        :meth:`_shard_gang` will see, and its combined predicate
+        (:meth:`_fit_gang` plus :meth:`_plan_fits`) is
+        order-independent, so the returned time is one at which
+        dispatch really succeeds — the event loop never advances to a
+        horizon that cannot make progress. The fallback (every instance
+        idle) is exactly the pool-clamp case, which always dispatches.
+        ``exclude`` (claimed instances under ``coschedule``) shrinks
+        the candidate pool; None when no feasible plan exists inside
+        what remains (only possible with a non-empty ``exclude``).
         """
         nodes = request.graph_nodes()
-        by_free = sorted(self.workers, key=lambda w: w.free_at)
+        eligible = [w for w in self.workers if w.index not in exclude]
+        by_free = sorted(eligible, key=lambda w: w.free_at)
         for end in range(1, len(by_free) + 1):
             gang = self._fit_gang(by_free[:end], nodes)
             if gang and self._plan_fits(gang, request):
-                return by_free[end - 1].free_at
-        return by_free[-1].free_at
+                return (
+                    by_free[end - 1].free_at,
+                    tuple(w.index for w in gang),
+                )
+        if len(eligible) == len(self.workers):
+            return (
+                by_free[-1].free_at,
+                tuple(w.index for w in self.workers),
+            )
+        return None
+
+    def _gang_ready_time(self, request):
+        """Earliest simulated second a feasible gang could assemble."""
+        return self._planned_gang(request)[0]
+
+    @property
+    def _pool_fabric(self):
+        """The pool-wide fabric co-scheduled gangs share, memoized.
+
+        Built from the ``cluster_options`` topology *kind* (default
+        all-to-all) at pool size; each gang runs on its
+        :func:`~repro.cluster.topology.subtopology`, so different gangs'
+        link loads live in one id space and sum as background traffic.
+        """
+        if self._pool_fabric_cache is None:
+            self._pool_fabric_cache = make_topology(
+                self.cluster_options.get("topology", "all-to-all"),
+                len(self.workers),
+                link_words_per_cycle=float(
+                    self.cluster_options.get("link_words_per_cycle", 8.0)
+                ),
+                hop_latency_cycles=int(
+                    self.cluster_options.get("hop_latency_cycles", 0)
+                ),
+            )
+        return self._pool_fabric_cache
+
+    def _would_start(self, workers, request, clock):
+        """When a gang dispatched at ``clock`` would actually start.
+
+        Non-mutating mirror of the :meth:`_reconfigure` gating inside
+        :meth:`_serve_sharded`: the slowest member's reconfiguration
+        penalty (if its configured key differs) delays the whole gang.
+        Used by the backfill screen, which must price a candidate
+        without touching worker state.
+        """
+        start = clock
+        for worker in workers:
+            if self.worker_configs is not None:
+                config = self.worker_configs[worker.index]
+            else:
+                config = request.config
+            key = (config, request.a_hops)
+            member_start = clock
+            if (worker.last_key is not None and worker.last_key != key
+                    and self.reconfig_cycles):
+                member_start += config.cycles_to_seconds(
+                    self.reconfig_cycles
+                )
+            start = max(start, member_start)
+        return start
+
+    def _screen_duration(self, item, gang, constrained, clock):
+        """Exact modeled duration a sharded dispatch would take *now*.
+
+        Runs the very simulation :meth:`_serve_sharded` would run —
+        same gang, ceilings, fabric restriction and background — against
+        a :class:`_ScreenCache`, so the shared cache's contents, stats
+        and LRU order stay untouched. Because the cache never changes
+        modeled numbers, the screened duration equals the dispatched
+        duration exactly; the backfill decision is a proof, not an
+        estimate. Memoized per (job, gang, background) so the event
+        loop can re-screen a parked candidate cheaply.
+        """
+        indices = tuple(worker.index for worker in gang)
+        background = self._background_for(clock) if self.coschedule else None
+        bg_key = (
+            None if background is None else tuple(background.tolist())
+        )
+        key = (item.seq, indices, constrained, bg_key)
+        cached = self._screen_memo.get(key)
+        if cached is not None:
+            return cached
+        request = item.request
+        ceilings = (
+            self._gang_ceilings(gang)
+            if constrained and self.chip_capacity is not None else None
+        )
+        topology = (
+            subtopology(self._pool_fabric, indices)
+            if self.coschedule else None
+        )
+        cluster = self._gang_cluster(
+            gang, request, row_ceilings=ceilings,
+            topology=topology, background=background,
+        )
+        report = simulate_multichip_gcn(
+            request.resolve_graph(), cluster, a_hops=request.a_hops,
+            cache=_ScreenCache(self.cache),
+        )
+        duration = cluster.chip.cycles_to_seconds(report.total_cycles)
+        self._screen_memo[key] = duration
+        return duration
+
+    def _background_for(self, clock):
+        """Per-link words other active jobs keep on the pool fabric.
+
+        Sums the stored per-round halo flows of every running (not
+        preempted, not finished) sharded job. None when nothing
+        contends — the single-tenant fast path, which prices exactly
+        as the exclusive fabric did.
+        """
+        flows = [
+            entry.flows for entry in self._active
+            if not entry.preempted and entry.flows is not None
+            and entry.finish > clock
+        ]
+        if not flows:
+            return None
+        return np.sum(flows, axis=0)
+
+    def _resume_claims(self):
+        """Instance indices reserved for preempted jobs' resumes.
+
+        Every gang member of a preempted job is claimed — it takes no
+        new batch, so the resume is never pushed back — except the
+        granted instance while its one-batch grant is still open.
+        """
+        claims = set()
+        for entry in self._active:
+            if not entry.preempted:
+                continue
+            for worker in entry.gang:
+                if (entry.grant == worker.index
+                        and not entry.grant_used):
+                    continue
+                claims.add(worker.index)
+        return claims
+
+    def _retire_active(self, clock):
+        """Drop finished jobs from the active registry (keep preempted)."""
+        self._active = [
+            entry for entry in self._active
+            if entry.preempted or entry.finish > clock
+        ]
+
+    def _maybe_preempt(self, items, needed, clock):
+        """Boundary-preempt one active job for a critical batch.
+
+        Fires only when the pending batch's best member class is 0
+        (deadline-critical) and no fitting instance is free. Among
+        active lower-priority jobs, picks the one with the earliest
+        upcoming layer boundary that beats the batch's natural wait
+        (the earliest fitting ``free_at``) and has a member the batch
+        fits on. The gang frees at that boundary; the lowest-indexed
+        fitting member becomes the batch's *grant*, the rest stay
+        claimed for the resume. Returns True when a preemption was
+        armed (the caller re-evaluates once the clock reaches the
+        boundary).
+        """
+        cls = min(self._class_of(item.request) for item in items)
+        if cls != 0:
+            return False
+        fits = [
+            worker.free_at for worker in self.workers
+            if self._worker_fits(worker.index, needed)
+        ]
+        if not fits:
+            return False
+        natural = min(fits)
+        best = None
+        for entry in self._active:
+            if (entry.preempted or entry.finish <= clock
+                    or entry.priority <= cls):
+                continue
+            while entry.boundaries and entry.boundaries[0] <= clock:
+                entry.boundaries.pop(0)
+            if not entry.boundaries:
+                continue
+            boundary = entry.boundaries[0]
+            if not clock < boundary < natural:
+                continue
+            member = next(
+                (worker for worker in
+                 sorted(entry.gang, key=lambda w: w.index)
+                 if self._worker_fits(worker.index, needed)),
+                None,
+            )
+            if member is None:
+                continue
+            if best is None or boundary < best[0]:
+                best = (boundary, entry, member)
+        if best is None:
+            return False
+        boundary, entry, member = best
+        entry.rel_boundaries = tuple(
+            t - boundary for t in entry.boundaries[1:]
+        )
+        entry.remaining = entry.finish - boundary
+        for worker in entry.gang:
+            worker.free_at = boundary
+            worker.modeled_busy_seconds -= entry.remaining
+        entry.grant = member.index
+        entry.grant_used = False
+        entry.boundaries = []
+        entry.preempted = True
+        self._drain_preemptions += 1
+        return True
+
+    def _process_resumes(self, clock, results):
+        """Resume preempted jobs whose whole gang is idle again.
+
+        Runs *after* the batch loop each iteration, so the granted
+        batch dispatches first. The remainder re-occupies the same gang
+        for exactly the preserved ``remaining`` seconds (the modeled
+        cycle total is conserved — only the timeline stretched), the
+        surviving layer boundaries re-anchor at the resume instant, and
+        the job's recorded result is patched with the stretched finish
+        and its preemption count.
+        """
+        for entry in self._active:
+            if not entry.preempted:
+                continue
+            if max(worker.free_at for worker in entry.gang) > clock:
+                continue
+            finish = clock + entry.remaining
+            for worker in entry.gang:
+                worker.free_at = finish
+                worker.modeled_busy_seconds += entry.remaining
+            entry.boundaries = [
+                clock + offset for offset in entry.rel_boundaries
+            ]
+            entry.rel_boundaries = ()
+            entry.remaining = 0.0
+            entry.finish = finish
+            entry.grant = None
+            entry.preempted = False
+            entry.resumes += 1
+            for at, (seq, result) in enumerate(results):
+                if seq == entry.seq:
+                    results[at] = (seq, replace(
+                        result, finish_time=finish,
+                        preemptions=entry.resumes,
+                    ))
+                    break
 
     def _shed_result(self, item, when):
         """The recorded outcome of a request shed at simulated ``when``."""
@@ -825,7 +1373,17 @@ class InferenceService:
                 self._reconfigure(worker, key, request.config, clock)
                 for worker in workers
             )
-        cluster = self._gang_cluster(workers, request, row_ceilings=ceilings)
+        topology = None
+        background = None
+        if self.coschedule:
+            topology = subtopology(
+                self._pool_fabric, tuple(w.index for w in workers)
+            )
+            background = self._background_for(clock)
+        cluster = self._gang_cluster(
+            workers, request, row_ceilings=ceilings,
+            topology=topology, background=background,
+        )
         dataset = request.resolve_graph()
         wall_started = time.perf_counter()
         report = simulate_multichip_gcn(
@@ -851,6 +1409,30 @@ class InferenceService:
             worker.modeled_busy_seconds += finish - clock
             worker.batches_served += 1
         self._n_batches += 1
+        if self.coschedule:
+            # Register the job as an active tenant: its layer
+            # boundaries are the preemption points, its per-round halo
+            # flows the background traffic later jobs price against.
+            secs = cluster.chip.cycles_to_seconds
+            boundaries = []
+            cum = report.migration_cycles
+            for layer_cost in report.layer_cycles[:-1]:
+                cum += layer_cost
+                boundaries.append(start + secs(cum))
+            flows = None
+            if cluster.n_chips > 1:
+                halo = halo_exchange(dataset.adjacency, report.plan)
+                flows = cluster.fabric.link_loads(halo.words)
+            self._active.append(_ActiveJob(
+                seq=item.seq,
+                gang=list(workers),
+                priority=self._class_of(request),
+                start=start,
+                finish=finish,
+                boundaries=boundaries,
+                flows=flows,
+                constrained=constrained,
+            ))
         results.append((item.seq, InferenceResult(
             request_id=request.request_id,
             dataset=getattr(dataset, "name", "custom"),
@@ -867,6 +1449,7 @@ class InferenceService:
             finish_time=finish,
             slo_ms=request.slo_ms,
             n_shards=len(workers),
+            priority=self._class_of(request) if self.coschedule else None,
         )))
 
     def _serve_batch(self, batch, worker, clock, stream, results):
@@ -946,6 +1529,7 @@ class InferenceService:
             start_time=start,
             finish_time=start + service_seconds,
             slo_ms=request.slo_ms,
+            priority=self._class_of(request) if self.coschedule else None,
         )
 
     def _stats(self, results, n_batches, wall):
@@ -972,20 +1556,24 @@ class InferenceService:
             ),
             n_shed=n_shed,
             n_sharded=n_sharded,
+            n_backfilled=self._drain_backfills,
+            n_preemptions=self._drain_preemptions,
         )
 
 
 def serve_requests(requests, *, n_workers=2, cache=True, max_batch=None,
                    max_wait=None, shed_expired=False, reconfig_cycles=0,
                    chip_capacity=None, cluster_options=None,
-                   worker_configs=None, workers=1):
+                   worker_configs=None, workers=1, coschedule=False,
+                   critical_slo_ms=None):
     """One-shot convenience: submit ``requests``, drain, return outcome."""
     service = InferenceService(
         n_workers=n_workers, cache=cache, max_batch=max_batch,
         max_wait=max_wait, shed_expired=shed_expired,
         reconfig_cycles=reconfig_cycles, chip_capacity=chip_capacity,
         cluster_options=cluster_options, worker_configs=worker_configs,
-        workers=workers,
+        workers=workers, coschedule=coschedule,
+        critical_slo_ms=critical_slo_ms,
     )
     service.submit_many(requests)
     return service.drain()

@@ -14,7 +14,10 @@ For the event-driven serving loop the same mixes become *streams*:
 seeded arrival-time processes, and :func:`streaming_traffic` stamps
 them (plus an optional latency SLO) onto a synthetic mix, producing
 requests the :class:`~repro.serve.InferenceService` admits as its
-simulated clock advances.
+simulated clock advances. :func:`mixed_traffic` builds the multi-tenant
+regime the co-scheduling service targets: one arrival stream carrying
+deadline-critical small queries, ordinary SLO'd batch queries and
+oversized sharded jobs side by side.
 """
 
 from __future__ import annotations
@@ -239,3 +242,90 @@ def streaming_traffic(n_requests, *, arrival_rate, arrival="poisson",
         replace(request, arrival_time=float(when), slo_ms=slo_ms)
         for request, when in zip(base, times)
     ]
+
+
+def mixed_traffic(n_requests, *, arrival_rate, chip_capacity, seed=7,
+                  configs=None, critical_fraction=0.2,
+                  sharded_fraction=0.15, critical_slo_ms=1.0,
+                  batch_slo_ms=20.0, sharded_slo_ms=None,
+                  small_nodes=None, batch_nodes=None, sharded_nodes=None,
+                  n_graphs=3, avg_degree=8, graph_kwargs=None):
+    """A multi-tenant request mix: critical, batch and sharded tenants.
+
+    Models the co-scheduling regime of a shared pool: a Poisson stream
+    at ``arrival_rate`` requests/second where each request is
+    independently a *critical* small query (tight ``critical_slo_ms``,
+    graphs of ``small_nodes``), an ordinary *batch* query
+    (``batch_slo_ms``, ``batch_nodes``) or an oversized *sharded* job
+    (``sharded_slo_ms``, ``sharded_nodes`` — sized past
+    ``chip_capacity`` so the service gang-schedules it). Node counts
+    default to ``chip_capacity // 4``, ``chip_capacity // 2`` and
+    ``3 * chip_capacity``. Each tenant class draws from its own pool of
+    ``n_graphs`` fixed-seed RMAT specs, so repeat traffic still hits
+    the autotune cache. Everything derives from ``seed``; the trace is
+    deterministic. Returns requests in arrival order.
+    """
+    check_positive_int(n_requests, "n_requests")
+    check_positive_int(n_graphs, "n_graphs")
+    chip_capacity = check_positive_int(chip_capacity, "chip_capacity")
+    for name, fraction in (("critical_fraction", critical_fraction),
+                           ("sharded_fraction", sharded_fraction)):
+        if not 0.0 <= float(fraction) <= 1.0:
+            raise ConfigError(f"{name} must be in [0, 1], got {fraction}")
+    if float(critical_fraction) + float(sharded_fraction) > 1.0:
+        raise ConfigError(
+            "critical_fraction + sharded_fraction must be <= 1, got "
+            f"{critical_fraction} + {sharded_fraction}"
+        )
+    graph_kwargs = dict(graph_kwargs or {})
+    if configs is None:
+        configs = (ArchConfig(n_pes=64, hop=1, remote_switching=True),)
+    configs = tuple(configs)
+    for config in configs:
+        if not isinstance(config, ArchConfig):
+            raise ConfigError(
+                f"configs must be ArchConfig, got {type(config).__name__}"
+            )
+    small_nodes = small_nodes or max(chip_capacity // 4, 16)
+    batch_nodes = batch_nodes or max(chip_capacity // 2, 16)
+    sharded_nodes = sharded_nodes or 3 * chip_capacity
+    if sharded_nodes <= chip_capacity:
+        raise ConfigError(
+            f"sharded_nodes ({sharded_nodes}) must exceed chip_capacity "
+            f"({chip_capacity}) or the sharded tenant never shards"
+        )
+    classes = (
+        # (spec seed base, node count, slo_ms)
+        (2000, small_nodes, critical_slo_ms),
+        (3000, batch_nodes, batch_slo_ms),
+        (4000, sharded_nodes, sharded_slo_ms),
+    )
+    pools = [
+        [
+            RmatGraphSpec(
+                n_nodes=nodes, avg_degree=avg_degree,
+                seed=seed_base + graph_idx, **graph_kwargs,
+            )
+            for graph_idx in range(n_graphs)
+        ]
+        for seed_base, nodes, _slo in classes
+    ]
+    rng = rng_from_seed(seed)
+    kinds = rng.choice(
+        3, size=n_requests,
+        p=[float(critical_fraction), 1.0 - float(critical_fraction)
+           - float(sharded_fraction), float(sharded_fraction)],
+    )
+    picks = rng.integers(0, n_graphs, size=n_requests)
+    times = poisson_arrivals(n_requests, rate=arrival_rate, seed=seed)
+    requests = []
+    for i in range(n_requests):
+        cls = int(kinds[i])
+        slo_ms = classes[cls][2]
+        requests.append(InferenceRequest(
+            graph=pools[cls][int(picks[i])],
+            config=configs[i % len(configs)],
+            arrival_time=float(times[i]),
+            slo_ms=slo_ms,
+        ))
+    return requests

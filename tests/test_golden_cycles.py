@@ -16,7 +16,12 @@ import pytest
 
 from repro.accel import ArchConfig, GcnAccelerator
 from repro.cluster import ClusterConfig, simulate_multichip_gcn
-from repro.serve import AutotuneCache, RmatGraphSpec
+from repro.serve import (
+    AutotuneCache,
+    RmatGraphSpec,
+    mixed_traffic,
+    serve_requests,
+)
 
 GOLDEN = [
     # (label, graph spec, arch config, expected)
@@ -254,3 +259,80 @@ class TestGoldenHeteroRingCycles:
         assert replay.cache_hit
         assert replay.total_cycles == HETERO_GOLDEN["total_cycles"]
         assert replay.layer_cycles == HETERO_GOLDEN["layer_cycles"]
+
+
+MIXED_GOLDEN = {
+    "per_request_cycles": [
+        1012, 1008, 1008, 1008, 2981, 1000, 1000, 1000, 1012, 563, 563,
+        3012, 584, 3012,
+    ],
+    "dispatch_order": [0, 1, 2, 3, 4, 5, 6, 7, 8, 11, 9, 10, 13, 12],
+    "n_sharded": 3,
+    "n_backfilled": 0,
+    "n_preemptions": 1,
+    "n_batches": 7,
+    "total_cycles": 18763,
+    "makespan_seconds": 0.007122687585579903,
+}
+
+
+class TestGoldenMixedCoscheduled:
+    """Pinned co-scheduled serving trace for one fixed-seed mixed load.
+
+    One :func:`mixed_traffic` trace — critical smalls, batch queries and
+    full-pool sharded jobs — through a 4-instance pool with
+    ``coschedule=True``. Pins every request's modeled cycle total and
+    the dispatch order (ties broken by request id), plus the scheduling
+    counters: this trace fires one boundary preemption, so any change
+    to the claim/preempt/resume machinery, the priority classes or the
+    shared-fabric pricing must update these numbers consciously. The
+    off-mode twin of this guarantee lives in the oracle-identity tests
+    of ``tests/test_serve_mixedload.py``.
+    """
+
+    def _outcome(self):
+        config = ArchConfig(n_pes=16, hop=1, remote_switching=True)
+        requests = mixed_traffic(
+            14, arrival_rate=1500.0, chip_capacity=256, seed=6,
+            configs=(config,), sharded_nodes=900, sharded_fraction=0.3,
+            critical_fraction=0.3, avg_degree=6,
+            graph_kwargs={"f1": 16, "f2": 8, "f3": 4},
+        )
+        return serve_requests(
+            requests, n_workers=4, chip_capacity=256,
+            coschedule=True, critical_slo_ms=1.0,
+        )
+
+    def test_per_request_cycles_pinned(self):
+        outcome = self._outcome()
+        assert [
+            r.total_cycles for r in outcome.results
+        ] == MIXED_GOLDEN["per_request_cycles"]
+        assert outcome.stats.total_cycles == MIXED_GOLDEN["total_cycles"]
+
+    def test_dispatch_order_pinned(self):
+        outcome = self._outcome()
+        order = [
+            r.request_id
+            for r in sorted(
+                outcome.results,
+                key=lambda r: (r.start_time, r.request_id),
+            )
+        ]
+        assert order == MIXED_GOLDEN["dispatch_order"]
+
+    def test_scheduling_counters_pinned(self):
+        stats = self._outcome().stats
+        assert stats.n_sharded == MIXED_GOLDEN["n_sharded"]
+        assert stats.n_backfilled == MIXED_GOLDEN["n_backfilled"]
+        assert stats.n_preemptions == MIXED_GOLDEN["n_preemptions"]
+        assert stats.n_batches == MIXED_GOLDEN["n_batches"]
+        assert stats.makespan_seconds == pytest.approx(
+            MIXED_GOLDEN["makespan_seconds"], abs=1e-15
+        )
+
+    def test_preempted_job_is_reported(self):
+        results = self._outcome().results
+        preempted = [r for r in results if r.preemptions > 0]
+        assert len(preempted) == 1
+        assert preempted[0].n_shards == 4

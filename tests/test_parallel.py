@@ -186,6 +186,34 @@ class TestClusterParallel:
         assert (seq.rebalance.migrated_blocks
                 == par.rebalance.migrated_blocks)
 
+    def test_straggler_ceiling_cluster_bit_identical(self):
+        # Stragglers and hard row ceilings both perturb the feedback
+        # rebalancer — the seam the parallel presimulation cuts across.
+        # The multiprocessing backend must replay that config exactly.
+        ds = _graph(8, n_nodes=1024)
+        cluster = dict(
+            n_chips=4, rebalance_signal="cycles", feedback_rounds=3,
+            stragglers=((1, 1.0, 2.0),),
+            row_ceilings=(384, 384, 384, 384),
+        )
+        seq_cache, par_cache = AutotuneCache(), AutotuneCache()
+        seq = simulate_multichip_gcn(
+            ds, ClusterConfig(workers=1, **cluster), cache=seq_cache
+        )
+        par = simulate_multichip_gcn(
+            ds, ClusterConfig(workers=4, **cluster), cache=par_cache
+        )
+        assert seq.total_cycles == par.total_cycles
+        assert seq.layer_cycles == par.layer_cycles
+        assert seq.comm_cycles == par.comm_cycles
+        assert [r.total_cycles for r in seq.chip_reports] == [
+            r.total_cycles for r in par.chip_reports
+        ]
+        assert (seq.rebalance.migrated_blocks
+                == par.rebalance.migrated_blocks)
+        assert seq_cache.stats == par_cache.stats
+        assert _entries_equal(seq_cache, par_cache)
+
 
 class TestGangAccounting:
     def test_gang_members_accounted_identically(self):

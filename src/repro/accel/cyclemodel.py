@@ -153,7 +153,8 @@ class SpmmResult:
         return self.total_work / denom if denom else 0.0
 
 
-def simulate_spmm(job, config, *, initial_owner=None, batched_tuning=True):
+def simulate_spmm(job, config, *, initial_owner=None, batched_tuning=True,
+                  tracer=None):
     """Simulate one SPMM under ``config``; returns :class:`SpmmResult`.
 
     ``initial_owner`` warm-starts the row->PE map (the paper reuses the
@@ -167,6 +168,15 @@ def simulate_spmm(job, config, *, initial_owner=None, batched_tuning=True):
     ``False`` keeps the original one-``share_makespan``-per-round loop.
     Both paths are bit-identical — the sequential one survives as the
     regression oracle and the "old" side of ``repro bench-rebalance``.
+
+    ``tracer`` (a :class:`~repro.obs.tracer.RecordingTracer`) records
+    the Eq. 5 tuning trajectory: one ``tuner.round`` instant per
+    not-yet-converged round (at its cumulative cycle offset from the
+    tracer's simulated anchor) and a closing ``tuner.done`` carrying
+    the convergence round and final owner-map balance. Events are
+    derived from the completed cycle trace after the drive loop, so
+    both tuning drivers emit identically and the default ``None``
+    leaves the hot loop untouched.
     """
     if not isinstance(job, SpmmJob):
         raise ConfigError(f"job must be SpmmJob, got {type(job).__name__}")
@@ -213,6 +223,11 @@ def simulate_spmm(job, config, *, initial_owner=None, batched_tuning=True):
     per_pe_backlog = _steady_state_backlog(
         assignment, config, ideal, hall_bound=hall_for_backlog
     )
+    if tracer is not None and tracer.enabled:
+        _trace_tuning(
+            tracer, job, config, cycles, round_idx, converged_round,
+            assignment, tuned=tuner is not None,
+        )
     return SpmmResult(
         job_name=job.name,
         n_rounds=job.n_rounds,
@@ -226,6 +241,46 @@ def simulate_spmm(job, config, *, initial_owner=None, batched_tuning=True):
         total_backlog=int(per_pe_backlog.sum()),
         final_owner=assignment.snapshot(),
         tuned=tuner is not None,
+    )
+
+
+def _trace_tuning(tracer, job, config, cycles, rounds_tuned,
+                  converged_round, assignment, *, tuned):
+    """Emit the Eq. 5 tuning trajectory of one SPMM stage.
+
+    Post-hoc fold over the completed per-round cycle trace: round
+    timestamps are cumulative cycle offsets (converted to simulated
+    seconds) from the tracer's current anchor — the service pins the
+    anchor at each request's dispatch instant, so stage events land
+    inside the request's service span.
+    """
+    lane = f"sim/{job.name}"
+    cum = 0
+    for round_index in range(rounds_tuned):
+        cum += int(cycles[round_index])
+        tracer.instant(
+            "tuner.round", lane=lane,
+            offset=config.cycles_to_seconds(cum),
+            args={
+                "round": round_index,
+                "cycles": int(cycles[round_index]),
+            },
+        )
+    loads = assignment.loads
+    total = int(loads.sum())
+    peak = int(loads.max()) if loads.size else 0
+    tracer.instant(
+        "tuner.done", lane=lane, offset=config.cycles_to_seconds(cum),
+        args={
+            "job": job.name,
+            "tuned": tuned,
+            "rounds_tuned": rounds_tuned,
+            "converged_round": converged_round,
+            "owner_peak_frac": round(peak / total, 6) if total else 0.0,
+            "imbalance": (
+                round(peak * config.n_pes / total, 4) if total else 0.0
+            ),
+        },
     )
 
 

@@ -384,7 +384,7 @@ class GcnAccelerator:
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
 
-    def run(self, *, cache=None):
+    def run(self, *, cache=None, tracer=None):
         """Simulate full inference; returns an :class:`AcceleratorReport`.
 
         ``cache`` is an optional :class:`repro.serve.AutotuneCache` (any
@@ -393,6 +393,11 @@ class GcnAccelerator:
         auto-tuner warm-up is skipped entirely, yet the cycle counts are
         identical to the cold run that populated the entry. On a miss the
         cold run's tuning state is stored for the next request.
+
+        ``tracer`` (a :class:`~repro.obs.tracer.RecordingTracer`)
+        records the cold path's per-stage Eq. 5 tuning events; the
+        frozen replay emits nothing of its own (the cache layer's
+        hit/miss events already mark it).
         """
         fingerprint = None
         if cache is not None:
@@ -400,13 +405,13 @@ class GcnAccelerator:
             entry = cache.lookup(fingerprint, self.config)
             if entry is not None and entry.matches(self.jobs):
                 return self._run_cached(entry)
-        report = self._run_cold()
+        report = self._run_cold(tracer=tracer)
         if cache is not None:
             cache.store(fingerprint, self.config,
                         CachedTuning.from_report(report))
         return report
 
-    def _run_cold(self):
+    def _run_cold(self, *, tracer=None):
         """Full simulation: drive the auto-tuner on every stage."""
         layers = []
         total = 0
@@ -419,6 +424,7 @@ class GcnAccelerator:
                     job,
                     self.config,
                     initial_owner=a_owner if is_a_stage else None,
+                    tracer=tracer,
                 )
                 if is_a_stage:
                     a_owner = result.final_owner

@@ -28,6 +28,12 @@ from repro.analysis.shardscale import (
     compare_shard_topology,
 )
 from repro.analysis.mixedload import compare_mixed_load
+from repro.analysis.tracescenarios import (
+    TRACE_SCENARIOS,
+    run_trace_scenario,
+    trace_scenario,
+    trace_summary,
+)
 from repro.analysis.straggler import compare_straggler
 from repro.analysis.heatmap import (
     heat_strip,
@@ -57,6 +63,10 @@ __all__ = [
     "host_cpu_count",
     "compare_rebalance",
     "compare_mixed_load",
+    "TRACE_SCENARIOS",
+    "run_trace_scenario",
+    "trace_scenario",
+    "trace_summary",
     "compare_shard_scaling",
     "compare_shard_topology",
     "compare_straggler",

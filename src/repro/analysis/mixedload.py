@@ -96,6 +96,8 @@ def compare_mixed_load(*, n_requests=120, rates=(600.0, 900.0, 1800.0),
                     outcome.stats.makespan_seconds * 1e3, 4
                 ),
                 "p99_ms": round(outcome.latency.p99_ms, 4),
+                "hit_rate": round(outcome.stats.hit_rate, 4),
+                "shed_rate": round(outcome.stats.shed_rate, 4),
                 "n_sharded": outcome.stats.n_sharded,
                 "n_backfilled": outcome.stats.n_backfilled,
                 "n_preemptions": outcome.stats.n_preemptions,
@@ -103,10 +105,11 @@ def compare_mixed_load(*, n_requests=120, rates=(600.0, 900.0, 1800.0),
 
     table = ascii_table(
         ["rate", "mode", "slo_att", "crit_att", "makespan_ms", "p99_ms",
-         "sharded", "backfill", "preempt"],
+         "hit_rate", "shed", "sharded", "backfill", "preempt"],
         [[r["rate"], r["mode"], r["slo_attainment"],
           r["critical_attainment"], r["makespan_ms"], r["p99_ms"],
-          r["n_sharded"], r["n_backfilled"], r["n_preemptions"]]
+          r["hit_rate"], r["shed_rate"], r["n_sharded"],
+          r["n_backfilled"], r["n_preemptions"]]
          for r in rows],
         title=(
             f"Mixed-load co-scheduling: {n_workers} instances x "

@@ -20,6 +20,8 @@ Usage::
     python -m repro shard-topology [--chips 4] [--aggregate-bandwidth 64]
     python -m repro parallel-bench [--worker-counts 1,2,4]
     python -m repro mixed-bench [--rates 600,900,1800] [--requests 120]
+    python -m repro trace [--scenario mixed] [--trace-dir results]
+    python -m repro trace --scenario mixed --sim-workers 4
     python -m repro summary           # dataset inventory
 
 Each command prints the rendered table; ``--out DIR`` additionally
@@ -280,6 +282,32 @@ def build_parser():
     mixed.add_argument("--seed", type=int, default=7)
     mixed.add_argument("--out", default=None, metavar="DIR",
                        help="also write rows as CSV under DIR")
+
+    trace = sub.add_parser(
+        "trace",
+        help=("replay a canned serving scenario under the recording "
+              "tracer and export the span-level event stream as "
+              "Chrome-trace / Perfetto JSON plus a per-round "
+              "chip-utilization CSV"),
+    )
+    trace.add_argument("--scenario", default="mixed",
+                       choices=["serve", "shard", "mixed"],
+                       help="which canned scenario to replay: streaming "
+                            "batch traffic, sharded jobs with a "
+                            "backfill, or the co-scheduled multi-tenant "
+                            "mix with a backfill and a preemption "
+                            "(default: mixed)")
+    trace.add_argument("--seed", type=int, default=None,
+                       help="override the scenario's traffic seed "
+                            "(default: the scenario's pinned seed)")
+    trace.add_argument("--sim-workers", type=int, default=1,
+                       help="host processes running the simulations "
+                            "(repro.parallel; the recorded event stream "
+                            "is bit-identical to the sequential default "
+                            "of 1)")
+    trace.add_argument("--trace-dir", default="results", metavar="DIR",
+                       help="directory for the trace JSON and the "
+                            "round-timeline CSV (default: results)")
     return parser
 
 
@@ -439,6 +467,42 @@ def main(argv=None):
             seed=args.seed,
         )
         return _emit(args, "mixed_load", rows, text)
+
+    if args.command == "trace":
+        from repro.analysis.tracescenarios import (
+            run_trace_scenario,
+            trace_summary,
+        )
+        from repro.obs import (
+            chrome_trace,
+            round_timeline_rows,
+            validate_chrome_trace,
+            write_chrome_trace,
+        )
+
+        outcome, tracer = run_trace_scenario(
+            args.scenario, seed=args.seed, workers=args.sim_workers
+        )
+        print(trace_summary(args.scenario, outcome, tracer))
+        doc = chrome_trace(tracer.events, wall_events=tracer.wall_events)
+        errors = validate_chrome_trace(doc)
+        if errors:
+            for error in errors:
+                print(f"trace validation: {error}", file=sys.stderr)
+            return 1
+        path = write_chrome_trace(
+            f"{args.trace_dir}/trace_{args.scenario}.json",
+            tracer.events, wall_events=tracer.wall_events,
+        )
+        print(f"\nChrome trace written to {path} "
+              "(valid; open in Perfetto or chrome://tracing)")
+        timeline = round_timeline_rows(tracer.events)
+        if timeline:
+            csv_path = rows_to_csv(
+                timeline, f"{args.trace_dir}/trace_{args.scenario}_rounds.csv"
+            )
+            print(f"round timeline written to {csv_path}")
+        return 0
 
     if args.command == "bench-rebalance":
         from repro.analysis import compare_rebalance

@@ -927,13 +927,15 @@ def _compose_layers(cluster, plan, layers, chip_reports, adjacency, a_hops,
     return layer_cycles, comm_serial, chip_costs, chip_compute
 
 
-def _run_chips(dataset, cluster, plan, layers, cache, name):
+def _run_chips(dataset, cluster, plan, layers, cache, name, tracer=None):
     """One single-chip simulation per chip over its sliced jobs.
 
     With ``cluster.workers > 1`` the chip simulations run in the
     :mod:`repro.parallel` process pool — chips are independent between
     layer barriers, and the replay protocol keeps the reports and the
     cache state bit-identical to this function's sequential order.
+    ``tracer`` flows through to each chip's cold tuner run (spliced
+    deterministically on the parallel path).
     """
     from repro.parallel import simulate_accels
 
@@ -946,7 +948,8 @@ def _run_chips(dataset, cluster, plan, layers, cache, name):
         )
         for chip in range(cluster.n_chips)
     ]
-    return simulate_accels(accels, cache=cache, workers=cluster.workers)
+    return simulate_accels(accels, cache=cache, workers=cluster.workers,
+                           tracer=tracer)
 
 
 class _ExplorationCache:
@@ -971,10 +974,10 @@ class _ExplorationCache:
             entry = self._shared.lookup(fingerprint, config)
         return entry
 
-    def peek(self, fingerprint, config):
-        entry = self._own.peek(fingerprint, config)
+    def peek(self, fingerprint, config, *, trace=True):
+        entry = self._own.peek(fingerprint, config, trace=trace)
         if entry is None and self._shared is not None:
-            entry = self._shared.peek(fingerprint, config)
+            entry = self._shared.peek(fingerprint, config, trace=trace)
         return entry
 
     def store(self, fingerprint, config, entry):
@@ -982,7 +985,7 @@ class _ExplorationCache:
 
 
 def _feedback_rebalance(dataset, cluster, plan, layers, cache, name,
-                        row_nnz, a_hops):
+                        row_nnz, a_hops, tracer=None):
     """Cycle-feedback rebalancing: migrate on measured per-chip cycles.
 
     Round 0 starts from the load-signal plan — before anything has run
@@ -1034,6 +1037,14 @@ def _feedback_rebalance(dataset, cluster, plan, layers, cache, name,
     plan, _load_info = rebalance_plan(plan, row_nnz, cluster)
     bounds = _plan_bounds(plan)
     explore_cache = _ExplorationCache(cache)
+    # Exploration rounds run untraced at the accelerator level — the
+    # tuner events of candidate plans the controller discards would
+    # drown the stream. Shared-cache peek/lookup events still flow
+    # through ``cache.tracer`` and are sequence-identical across
+    # ``workers`` counts; only the winning replay below carries the
+    # tracer into the chip simulations.
+    trace = tracer is not None and tracer.enabled
+    lane = f"cluster/{name}"
 
     best = None  # (total, plan, reports, composed)
     gap_history = []
@@ -1069,6 +1080,26 @@ def _feedback_rebalance(dataset, cluster, plan, layers, cache, name,
             cluster, initial, current, weights
         )
         pending = _pending_onset(cluster, rounds)
+        if trace:
+            tracer.counter(
+                "feedback.cycles", lane=lane,
+                values={
+                    "round": rounds,
+                    **{f"chip{c}": int(measured[c])
+                       for c in range(cluster.n_chips)},
+                },
+            )
+            tracer.instant(
+                "feedback.round", lane=lane,
+                args={
+                    "round": rounds,
+                    "total": int(total),
+                    "gap": gap_history[-1],
+                    "regime_changed": bool(regime_changed),
+                    "improved": best is None or total < best[0],
+                    "pending_onset": bool(pending),
+                },
+            )
         if best is None or total < best[0]:
             best = (total, current, reports, composed)
             stall = 0
@@ -1105,7 +1136,7 @@ def _feedback_rebalance(dataset, cluster, plan, layers, cache, name,
         # hits) only the surviving plan's tuning entries, and the
         # returned reports carry the caller-visible cache_hit flags.
         best_reports = _run_chips(
-            dataset, cluster, best_plan, layers, cache, name
+            dataset, cluster, best_plan, layers, cache, name, tracer=tracer
         )
         best_composed = _compose_layers(
             cluster, best_plan, layers, best_reports, dataset.adjacency,
@@ -1131,7 +1162,7 @@ def _feedback_rebalance(dataset, cluster, plan, layers, cache, name,
 
 
 def simulate_multichip_gcn(dataset, cluster, *, a_hops=1, cache=None,
-                           plan=None):
+                           plan=None, tracer=None):
     """Simulate a full sharded 2-layer GCN inference on a cluster.
 
     Partitions ``dataset`` (or adopts a caller-supplied ``plan``),
@@ -1183,6 +1214,27 @@ def simulate_multichip_gcn(dataset, cluster, *, a_hops=1, cache=None,
     name = getattr(dataset, "name", "custom")
     initial_plan = plan
 
+    trace = tracer is not None and tracer.enabled
+    lane = f"cluster/{name}"
+    if trace:
+        tracer.instant("cluster.plan", lane=lane, args={
+            "n_chips": cluster.n_chips,
+            "n_blocks": plan.n_blocks,
+            "strategy": cluster.strategy,
+            "signal": (
+                cluster.rebalance_signal if cluster.rebalance else "off"
+            ),
+            "a_hops": a_hops,
+        })
+        for ev in (cluster.stragglers or ()):
+            if not isinstance(ev, StragglerEvent):
+                ev = StragglerEvent(*ev)
+            tracer.instant("cluster.straggler", lane=lane, args={
+                "chip": ev.chip,
+                "onset_round": ev.onset_round,
+                "factor": ev.factor,
+            })
+
     feedback = (
         cluster.rebalance
         and cluster.rebalance_signal == "cycles"
@@ -1191,7 +1243,8 @@ def simulate_multichip_gcn(dataset, cluster, *, a_hops=1, cache=None,
     )
     if feedback:
         plan, info, chip_reports, composed = _feedback_rebalance(
-            dataset, cluster, plan, layers, cache, name, a_row_nnz, a_hops
+            dataset, cluster, plan, layers, cache, name, a_row_nnz, a_hops,
+            tracer=tracer,
         )
     else:
         if cluster.rebalance:
@@ -1206,7 +1259,8 @@ def simulate_multichip_gcn(dataset, cluster, *, a_hops=1, cache=None,
                 info = replace(info, signal=cluster.rebalance_signal)
         else:
             info = _noop_info(cluster.rebalance_signal)
-        chip_reports = _run_chips(dataset, cluster, plan, layers, cache, name)
+        chip_reports = _run_chips(dataset, cluster, plan, layers, cache,
+                                  name, tracer=tracer)
         # A frozen or load-signal plan pays the steady-state slowdown
         # in full — only the "cycles" feedback path can observe and
         # route around a straggler.
@@ -1220,6 +1274,41 @@ def simulate_multichip_gcn(dataset, cluster, *, a_hops=1, cache=None,
     )
     layer_cycles, comm_serial, chip_costs, chip_compute = composed
     total = migration_cycles + sum(layer_cycles)
+
+    if trace:
+        for r, gap in enumerate(info.gap_history):
+            tracer.instant("rebalance.gap", lane=lane, args={
+                "round": r, "gap": int(gap), "signal": info.signal,
+            })
+        tracer.instant("rebalance.done", lane=lane, args={
+            "rounds": info.rounds,
+            "converged_round": info.converged_round,
+            "migrated_blocks": info.migrated_blocks,
+            "migrated_nnz": info.migrated_nnz,
+            "signal": info.signal,
+            "migration_cycles": int(migration_cycles),
+            "total_cycles": int(total),
+        })
+        # One utilization sample per composed layer, stamped at the
+        # layer's start on the reference clock: busy fraction is each
+        # chip's compute over the layer's critical-path cost.
+        cum = float(migration_cycles)
+        for layer_idx, layer_cost in enumerate(layer_cycles):
+            cost = max(int(chip_costs[layer_idx].max()), 1)
+            tracer.counter(
+                "cluster.chip_util", lane=lane,
+                offset=cluster.chip.cycles_to_seconds(cum),
+                values={
+                    "layer": layer_idx,
+                    **{
+                        f"chip{c}": round(
+                            float(chip_compute[layer_idx, c]) / cost, 6
+                        )
+                        for c in range(cluster.n_chips)
+                    },
+                },
+            )
+            cum += float(layer_cost)
 
     return ClusterReport(
         dataset=name,

@@ -1,0 +1,134 @@
+"""Counters, gauges and deterministic fixed-bucket histograms.
+
+The :class:`MetricsRegistry` is the aggregate side of the observability
+layer: where :class:`~repro.obs.tracer.RecordingTracer` keeps the full
+typed event stream, the registry folds it into monotonically updated
+counters, last-value gauges and fixed-bucket histograms. Buckets are
+fixed at observation time (never rebalanced), so two runs that observe
+the same values produce byte-identical snapshots — the same determinism
+contract the event stream itself carries.
+
+The existing stats dataclasses are *views* over this one stream:
+:func:`~repro.obs.views.service_stats_view` and
+:func:`~repro.obs.views.latency_stats_view` rebuild
+``ServiceStats``/``LatencyStats`` from recorded events alone, and the
+test suite pins them equal to the hand-folded originals.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.errors import ConfigError
+
+DEFAULT_LATENCY_BUCKETS_MS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    500.0, 1000.0,
+)
+"""Default latency histogram bounds (ms); the last bucket is +inf."""
+
+
+class Histogram:
+    """A fixed-bucket histogram with deterministic bucket assignment.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; an
+    implicit +inf bucket catches the overflow. A value lands in the
+    first bucket whose bound is >= the value (``bisect_left``), so
+    equal inputs always land identically — no adaptive resizing.
+    """
+
+    def __init__(self, bounds):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ConfigError("histogram bounds must be non-empty")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigError(
+                f"histogram bounds must be strictly increasing, "
+                f"got {bounds}"
+            )
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.n = 0
+        self.total = 0.0
+
+    def observe(self, value):
+        """Count one observation."""
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.n += 1
+        self.total += value
+
+    @property
+    def mean(self):
+        """Mean of all observed values (0.0 when empty)."""
+        return self.total / self.n if self.n else 0.0
+
+    def snapshot(self):
+        """``{"le:<bound>": count, ..., "le:inf": count}`` plus totals."""
+        out = {
+            f"le:{bound:g}": count
+            for bound, count in zip(self.bounds, self.counts)
+        }
+        out["le:inf"] = self.counts[-1]
+        out["count"] = self.n
+        out["sum"] = self.total
+        return out
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with a flat snapshot.
+
+    Counters only go up (:meth:`inc`), gauges hold the last set value,
+    histograms are created on first :meth:`observe` with the given
+    (fixed) bounds. :meth:`record_event` is the
+    :class:`~repro.obs.tracer.RecordingTracer` hook: every traced event
+    bumps an ``events.<kind>.<name>`` counter and counter-kind events
+    update same-named gauges, so the registry is always a pure fold of
+    the event stream.
+    """
+
+    def __init__(self):
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+
+    def inc(self, name, by=1):
+        """Add ``by`` (>= 0) to counter ``name``."""
+        if by < 0:
+            raise ConfigError(
+                f"counter {name!r} cannot decrease (by={by})"
+            )
+        self.counters[name] = self.counters.get(name, 0) + by
+
+    def set_gauge(self, name, value):
+        """Set gauge ``name`` to ``value``."""
+        self.gauges[name] = float(value)
+
+    def observe(self, name, value, *, bounds=DEFAULT_LATENCY_BUCKETS_MS):
+        """Add one observation to histogram ``name`` (created on first
+        use with ``bounds``)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(bounds)
+        hist.observe(value)
+        return hist
+
+    def record_event(self, event):
+        """Fold one traced event into the registry."""
+        self.inc(f"events.{event.kind}.{event.name}")
+        if event.kind == "counter":
+            for series, value in event.args.items():
+                if isinstance(value, (int, float)):
+                    self.set_gauge(f"{event.name}.{series}", value)
+
+    def snapshot(self):
+        """One flat dict of everything, deterministically ordered."""
+        out = {}
+        for name in sorted(self.counters):
+            out[f"counter.{name}"] = self.counters[name]
+        for name in sorted(self.gauges):
+            out[f"gauge.{name}"] = self.gauges[name]
+        for name in sorted(self.histograms):
+            for key, value in self.histograms[name].snapshot().items():
+                out[f"hist.{name}.{key}"] = value
+        return out

@@ -103,16 +103,25 @@ atexit.register(shutdown_pool)
 def _simulate_payload(payload):
     """Worker-side task: one cold accelerator simulation.
 
-    Returns ``(report, entry)`` — the full cold
-    :class:`~repro.accel.gcnaccel.AcceleratorReport` plus the
+    Returns ``(report, entry, events)`` — the full cold
+    :class:`~repro.accel.gcnaccel.AcceleratorReport`, the
     :class:`~repro.accel.CachedTuning` the sequential path would have
-    stored for it. Runs cache-less: a worker never sees the shared
-    cache, so there is nothing to race on.
+    stored for it, and (when tracing) the cold run's tuner events
+    recorded at simulated time 0 for the parent to
+    :meth:`~repro.obs.tracer.RecordingTracer.splice` in at replay.
+    Runs cache-less: a worker never sees the shared cache, so there is
+    nothing to race on.
     """
-    jobs, config, name = payload
+    jobs, config, name, trace = payload
     accel = GcnAccelerator.from_jobs(jobs, config, name=name)
+    if trace:
+        from repro.obs.tracer import RecordingTracer
+
+        local = RecordingTracer()
+        report = accel.run(tracer=local)
+        return report, CachedTuning.from_report(report), tuple(local.events)
     report = accel.run()
-    return report, CachedTuning.from_report(report)
+    return report, CachedTuning.from_report(report), ()
 
 
 @dataclass(frozen=True)
@@ -121,23 +130,34 @@ class PresimResult:
 
     report: object
     entry: CachedTuning
+    events: tuple = ()
+    """Tuner events the worker recorded (anchored at simulated 0)."""
 
 
-def presimulate(accels, *, cache=None, workers=2):
+def presimulate(accels, *, cache=None, workers=2, tracer=None):
     """Run the cold simulations a batch of accelerators needs, in the pool.
 
     Scans ``accels`` in order, keys each by ``(fingerprint, config)``
     (the :class:`~repro.serve.AutotuneCache` key), and dispatches one
     cold simulation per key that neither the cache (checked via
     :meth:`~repro.serve.AutotuneCache.peek` — no counter or recency
-    side effects) nor an earlier accelerator in the batch will answer.
-    Returns ``{key: PresimResult}`` for the dispatched keys.
+    side effects, and ``trace=False`` so these parallel-only probes
+    stay out of the event stream) nor an earlier accelerator in the
+    batch will answer. Returns ``{key: PresimResult}`` for the
+    dispatched keys.
+
+    With a ``tracer`` enabled, each worker records its cold run's tuner
+    events locally (anchored at simulated 0) and ships them back in the
+    :class:`PresimResult` — :func:`replay_simulation` splices them into
+    the parent stream at the exact point the sequential path would have
+    emitted them.
 
     Deduplication is sound because a cold report is a pure function of
     the key: two accelerators with equal fingerprints and configs
     produce identical reports, so replaying one presimulated result for
     both is exactly what the sequential store-then-hit sequence yields.
     """
+    trace = tracer is not None and tracer.enabled
     payloads = []
     keys = []
     seen = set()
@@ -146,12 +166,12 @@ def presimulate(accels, *, cache=None, workers=2):
         if key in seen:
             continue
         if cache is not None:
-            entry = cache.peek(*key)
+            entry = cache.peek(key[0], key[1], trace=False)
             if entry is not None and entry.matches(accel.jobs):
                 continue
         seen.add(key)
         keys.append(key)
-        payloads.append((accel.jobs, accel.config, accel.name))
+        payloads.append((accel.jobs, accel.config, accel.name, trace))
     if not payloads:
         return {}
     workers = effective_workers(workers)
@@ -161,12 +181,12 @@ def presimulate(accels, *, cache=None, workers=2):
         pool = _get_pool(workers)
         results = pool.map(_simulate_payload, payloads, chunksize=1)
     return {
-        key: PresimResult(report=report, entry=entry)
-        for key, (report, entry) in zip(keys, results)
+        key: PresimResult(report=report, entry=entry, events=events)
+        for key, (report, entry, events) in zip(keys, results)
     }
 
 
-def replay_simulation(accel, cache, presim):
+def replay_simulation(accel, cache, presim, *, tracer=None):
     """One accelerator's report, folded back in sequential order.
 
     Mirrors :meth:`~repro.accel.GcnAccelerator.run` against ``cache``
@@ -185,32 +205,48 @@ def replay_simulation(accel, cache, presim):
 
     With ``cache=None`` the report is simply the presimulated one (the
     sequential path would recompute the identical report per request).
+
+    The ``tracer`` splice preserves trace bit-identity: the worker's
+    tuner events (recorded at anchor 0) are re-emitted between the
+    ``lookup`` and the ``store`` — exactly where the sequential cold
+    run emits them — anchored at the tracer's current simulated time,
+    which the caller pins to the dispatch instant.
     """
+    trace = tracer is not None and tracer.enabled
     if cache is None:
         hit = presim.get((accel.fingerprint(), accel.config))
-        return hit.report if hit is not None else accel.run()
+        if hit is None:
+            return accel.run(tracer=tracer)
+        if trace:
+            tracer.splice(hit.events)
+        return hit.report
     key = (accel.fingerprint(), accel.config)
-    entry = cache.peek(*key)
+    entry = cache.peek(key[0], key[1], trace=False)
     if entry is not None and entry.matches(accel.jobs):
-        return accel.run(cache=cache)
+        return accel.run(cache=cache, tracer=tracer)
     hit = presim.get(key)
     if hit is None:
-        return accel.run(cache=cache)
+        return accel.run(cache=cache, tracer=tracer)
     cache.lookup(*key)
+    if trace:
+        tracer.splice(hit.events)
     cache.store(key[0], key[1], hit.entry)
     return hit.report
 
 
-def simulate_accels(accels, *, cache=None, workers=1):
+def simulate_accels(accels, *, cache=None, workers=1, tracer=None):
     """Run a batch of accelerator simulations, possibly in parallel.
 
     Drop-in replacement for ``[a.run(cache=cache) for a in accels]``:
     with ``workers=1`` (or the disable switch set) it *is* that loop —
     the sequential oracle — and with ``workers>1`` the cold runs go
-    through the pool and replay bit-identically (see module docstring).
+    through the pool and replay bit-identically (see module docstring),
+    including the recorded event stream when a ``tracer`` is active.
     """
     workers = effective_workers(workers)
     if workers <= 1:
-        return [accel.run(cache=cache) for accel in accels]
-    presim = presimulate(accels, cache=cache, workers=workers)
-    return [replay_simulation(accel, cache, presim) for accel in accels]
+        return [accel.run(cache=cache, tracer=tracer) for accel in accels]
+    presim = presimulate(accels, cache=cache, workers=workers,
+                         tracer=tracer)
+    return [replay_simulation(accel, cache, presim, tracer=tracer)
+            for accel in accels]

@@ -27,7 +27,9 @@ time with latency SLOs. This package adds that layer:
   gang-scheduled across the pool), and multi-tenant co-scheduling
   (``coschedule`` adds gang claims, priority classes, boundary
   preemption and shared-fabric pricing; off by default and
-  bit-identical to the exclusive-gang service);
+  bit-identical to the exclusive-gang service). Pass a
+  :class:`~repro.obs.tracer.RecordingTracer` as ``tracer`` to record
+  the span-level event stream of a drain (see :mod:`repro.obs`);
 * :mod:`repro.serve.traffic`   — fixed-seed RMAT request mixes,
   Poisson/bursty arrival processes and the multi-tenant
   :func:`mixed_traffic` regime for the serving benchmarks

@@ -92,6 +92,7 @@ def compare_caching(*, n_requests=96, n_graphs=4, n_nodes=16384, seed=7,
             "batches": stats.n_batches,
             "cache_hits": stats.cache_hits,
             "hit_rate": round(stats.hit_rate, 4),
+            "evictions": stats.n_evictions,
             "wall_s": round(stats.wall_seconds, 4),
             "req_per_s": round(stats.requests_per_second, 2),
             "total_cycles": stats.total_cycles,
@@ -103,6 +104,7 @@ def compare_caching(*, n_requests=96, n_graphs=4, n_nodes=16384, seed=7,
         "batches": "-",
         "cache_hits": "-",
         "hit_rate": "-",
+        "evictions": "-",
         "wall_s": "-",
         "req_per_s": round(speedup, 2),
         "total_cycles": "identical" if identical else "MISMATCH",
@@ -110,11 +112,11 @@ def compare_caching(*, n_requests=96, n_graphs=4, n_nodes=16384, seed=7,
     })
 
     table = ascii_table(
-        ["mode", "requests", "batches", "hits", "hit rate", "wall (s)",
-         "req/s", "total cycles", "mean util"],
+        ["mode", "requests", "batches", "hits", "hit rate", "evict",
+         "wall (s)", "req/s", "total cycles", "mean util"],
         [[r["mode"], r["requests"], r["batches"], r["cache_hits"],
-          r["hit_rate"], r["wall_s"], r["req_per_s"], r["total_cycles"],
-          r["mean_util"]] for r in rows],
+          r["hit_rate"], r["evictions"], r["wall_s"], r["req_per_s"],
+          r["total_cycles"], r["mean_util"]] for r in rows],
         title=(
             f"Serving throughput: {n_requests} requests over {n_graphs} "
             f"RMAT graphs ({n_nodes} nodes, {n_pes} PEs, "
@@ -199,10 +201,12 @@ def compare_latency(*, n_requests=96, n_graphs=4, n_nodes=4096, seed=7,
             "p50_ms": round(latency.p50_ms, 4),
             "p95_ms": round(latency.p95_ms, 4),
             "p99_ms": round(latency.p99_ms, 4),
+            "p999_ms": round(latency.p999_ms, 4),
             "queue_ms": round(latency.mean_queue_ms, 4),
             "slo_attained": (
                 "-" if attainment is None else round(attainment, 4)
             ),
+            "shed_rate": round(stats.shed_rate, 4),
             "makespan_s": round(stats.makespan_seconds, 4),
             "wall_s": round(stats.wall_seconds, 4),
         })
@@ -214,8 +218,10 @@ def compare_latency(*, n_requests=96, n_graphs=4, n_nodes=4096, seed=7,
         "p50_ms": "identical" if timeline_identical else "MISMATCH",
         "p95_ms": "-",
         "p99_ms": "-",
+        "p999_ms": "-",
         "queue_ms": "-",
         "slo_attained": "-",
+        "shed_rate": "-",
         "makespan_s": "identical" if cycles_identical else "MISMATCH",
         "wall_s": round(speedup, 2),
     })
@@ -223,10 +229,12 @@ def compare_latency(*, n_requests=96, n_graphs=4, n_nodes=4096, seed=7,
     slo_label = f"{slo_ms:g} ms SLO" if slo_ms is not None else "no SLO"
     table = ascii_table(
         ["mode", "requests", "batches", "hit rate", "p50 (ms)", "p95 (ms)",
-         "p99 (ms)", "queue (ms)", "SLO att.", "makespan (s)", "wall (s)"],
+         "p99 (ms)", "p99.9 (ms)", "queue (ms)", "SLO att.", "shed",
+         "makespan (s)", "wall (s)"],
         [[r["mode"], r["requests"], r["batches"], r["hit_rate"],
-          r["p50_ms"], r["p95_ms"], r["p99_ms"], r["queue_ms"],
-          r["slo_attained"], r["makespan_s"], r["wall_s"]] for r in rows],
+          r["p50_ms"], r["p95_ms"], r["p99_ms"], r["p999_ms"],
+          r["queue_ms"], r["slo_attained"], r["shed_rate"],
+          r["makespan_s"], r["wall_s"]] for r in rows],
         title=(
             f"Serving latency: {n_requests} requests over {n_graphs} RMAT "
             f"graphs ({n_nodes} nodes, {n_pes} PEs, {n_workers} instances), "

@@ -28,6 +28,7 @@ import numpy as np
 from repro.accel.config import ArchConfig
 from repro.accel.gcnaccel import CachedStage, CachedTuning
 from repro.errors import ConfigError
+from repro.obs.tracer import NULL_TRACER, config_label
 from repro.utils.validation import check_positive_int
 
 
@@ -81,6 +82,18 @@ class AutotuneCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self.tracer = NULL_TRACER
+        """Event sink for cache traffic (:mod:`repro.obs`); the service
+        points it at its own tracer. Timestamps use the tracer's
+        current simulated anchor."""
+
+    @staticmethod
+    def _key_args(fingerprint, config):
+        """Deterministic event args naming one cache key."""
+        return {
+            "key": str(fingerprint)[:24],
+            "config": config_label(config),
+        }
 
     def __len__(self):
         return len(self._entries)
@@ -115,18 +128,31 @@ class AutotuneCache:
         else:
             self._hits += 1
             self._entries[key] = self._entries.pop(key)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "cache.hit" if entry is not None else "cache.miss",
+                lane="cache", args=self._key_args(fingerprint, config),
+            )
         return entry
 
-    def peek(self, fingerprint, config):
+    def peek(self, fingerprint, config, *, trace=True):
         """Return the cached entry without counting or touching recency.
 
         The side-effect-free read the parallel backend
         (:mod:`repro.parallel`) uses to decide which cold simulations to
         dispatch: probing every key up front must not perturb the
         hit/miss counters or the LRU order, or the later sequential
-        replay would diverge from the oracle.
+        replay would diverge from the oracle. ``trace=False`` also
+        suppresses the trace event — the parallel backend's probes
+        happen only when ``workers > 1``, so leaving them in the stream
+        would break the ``workers=N`` trace bit-identity contract.
         """
-        return self._entries.get(self.key(fingerprint, config))
+        entry = self._entries.get(self.key(fingerprint, config))
+        if trace and self.tracer.enabled:
+            args = self._key_args(fingerprint, config)
+            args["found"] = entry is not None
+            self.tracer.instant("cache.peek", lane="cache", args=args)
+        return entry
 
     def store(self, fingerprint, config, entry):
         """Insert (or overwrite) the tuning state for a key.
@@ -146,11 +172,21 @@ class AutotuneCache:
         key = self.key(fingerprint, config)
         self._entries.pop(key, None)
         self._entries[key] = entry
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "cache.store", lane="cache",
+                args=self._key_args(fingerprint, config),
+            )
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
                 oldest = next(iter(self._entries))
                 del self._entries[oldest]
                 self._evictions += 1
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "cache.evict", lane="cache",
+                        args=self._key_args(oldest[0], oldest[1]),
+                    )
 
     def merge(self, other):
         """Fold another cache's entries into this one (merge-on-gather).
@@ -177,6 +213,10 @@ class AutotuneCache:
         for (fingerprint, config), entry in list(other._entries.items()):
             self.store(fingerprint, config, entry)
             merged += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "cache.merge", lane="cache", args={"entries": merged},
+            )
         return merged
 
     def clear(self):

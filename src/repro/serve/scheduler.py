@@ -31,6 +31,7 @@ import math
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
+from repro.obs.tracer import NULL_TRACER, config_label
 from repro.serve.request import InferenceRequest
 from repro.utils.validation import check_positive_int
 
@@ -272,12 +273,15 @@ class StreamingScheduler:
     """
 
     def __init__(self, *, max_batch=None, max_wait=None, shed_expired=False,
-                 priorities=False, critical_slo_ms=None):
+                 priorities=False, critical_slo_ms=None, tracer=None):
         self.max_batch = _check_max_batch(max_batch)
         self.max_wait = _check_max_wait(max_wait)
         self.shed_expired = bool(shed_expired)
         self.priorities = bool(priorities)
         self.critical_slo_ms = critical_slo_ms
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        """Event sink (:mod:`repro.obs`): every sealed batch emits a
+        ``batch.cut`` instant stamped with the cut reason."""
         self._groups = {}
         self._order = []
         self._estimates = {}
@@ -316,7 +320,8 @@ class StreamingScheduler:
                 self._order.append(key)
         group.append(item)
         if self.max_batch is not None and len(group) >= self.max_batch:
-            self._cut(key, item.arrival_time if now is None else now)
+            self._cut(key, item.arrival_time if now is None else now,
+                      reason="size")
 
     def _group_key(self, request):
         """The grouping key one request batches under.
@@ -358,8 +363,13 @@ class StreamingScheduler:
         """
         return request.priority_class(self.critical_slo_ms)
 
-    def _cut_time(self, key):
-        """Simulated second at which this group must be sealed."""
+    def _cut_decision(self, key):
+        """``(when, reason)`` — the instant this group must be sealed.
+
+        ``reason`` is ``"deadline"`` when the tightest member deadline
+        minus the estimated batch service time binds, ``"timeout"``
+        when the oldest member's ``max_wait`` clock cuts earlier.
+        """
         group = self._groups[key]
         tightest = min(item.deadline for item in group)
         # Estimates are keyed by the hardware surface alone — the
@@ -367,9 +377,16 @@ class StreamingScheduler:
         # time information.
         estimate = self._estimates.get(key[:2], 0.0) * len(group)
         when = tightest - estimate
+        reason = "deadline"
         if self.max_wait is not None:
-            when = min(when, group[0].arrival_time + self.max_wait)
-        return when
+            timeout = group[0].arrival_time + self.max_wait
+            if timeout < when:
+                when, reason = timeout, "timeout"
+        return when, reason
+
+    def _cut_time(self, key):
+        """Simulated second at which this group must be sealed."""
+        return self._cut_decision(key)[0]
 
     def next_cut_time(self):
         """Earliest second any live group needs cutting (inf if none)."""
@@ -388,8 +405,11 @@ class StreamingScheduler:
         """
         cut = 0
         for key in self._order:
-            if self._groups.get(key) and self._cut_time(key) <= now:
-                self._cut(key, now)
+            if not self._groups.get(key):
+                continue
+            when, reason = self._cut_decision(key)
+            if when <= now:
+                self._cut(key, now, reason=reason)
                 cut += 1
         return cut
 
@@ -401,19 +421,20 @@ class StreamingScheduler:
         """
         for key in self._order:
             if self._groups.get(key):
-                self._cut(key, now)
+                self._cut(key, now, reason="flush")
 
     def take_shed(self):
         """Drain and return the accumulated shed log."""
         shed, self.shed_log = self.shed_log, []
         return shed
 
-    def _cut(self, key, now):
+    def _cut(self, key, now, *, reason="flush"):
         """Seal one group into the EDF-ordered ready queue.
 
         With ``shed_expired``, members whose deadline lies strictly
         before ``now`` are logged as shed instead of sealed; a group
-        whose members all expired produces no batch.
+        whose members all expired produces no batch (and no
+        ``batch.cut`` event — only sealed batches trace).
         """
         items = self._groups[key]
         self._groups[key] = []
@@ -427,6 +448,18 @@ class StreamingScheduler:
             items = live
             if not items:
                 return
+        if self.tracer.enabled:
+            args = {
+                "reason": reason,
+                "size": len(items),
+                "config": config_label(key[0]),
+                "a_hops": key[1],
+                "seqs": [item.seq for item in items],
+            }
+            if self.priorities:
+                args["class"] = key[2]
+            self.tracer.instant("batch.cut", lane="service", ts=now,
+                                args=args)
         deadline = min(item.deadline for item in items)
         if self.priorities:
             # Class-major EDF: a lower class always dispatches first;

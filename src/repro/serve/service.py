@@ -66,6 +66,7 @@ from repro.cluster.multichip import ClusterConfig, simulate_multichip_gcn
 from repro.cluster.partition import halo_exchange, make_plan
 from repro.cluster.topology import Topology, make_topology, subtopology
 from repro.errors import CeilingError, ConfigError
+from repro.obs.tracer import NULL_TRACER, config_label
 from repro.serve.cache import AutotuneCache
 from repro.serve.request import InferenceResult
 from repro.serve.scheduler import (
@@ -124,10 +125,10 @@ class _ScreenCache:
             entry = self._shared.peek(fingerprint, config)
         return entry
 
-    def peek(self, fingerprint, config):
-        entry = self._own.peek(fingerprint, config)
+    def peek(self, fingerprint, config, *, trace=True):
+        entry = self._own.peek(fingerprint, config, trace=False)
         if entry is None and self._shared is not None:
-            entry = self._shared.peek(fingerprint, config)
+            entry = self._shared.peek(fingerprint, config, trace=trace)
         return entry
 
     def store(self, fingerprint, config, entry):
@@ -163,6 +164,13 @@ class _ActiveJob:
     is claimed for the resume)."""
     grant_used: bool = False
     resumes: int = 0
+    spans: list = None
+    """Mutable member worker-lane span events (tracing only) — trimmed
+    at a preemption boundary, replaced by resume spans."""
+    req_span: object = None
+    svc_span: object = None
+    complete_ev: object = None
+    preempt_at: float = None
 
 
 def percentile(values, q):
@@ -201,6 +209,9 @@ class LatencyStats:
     """How many requests carried an SLO."""
     slo_met: int
     """How many SLO-carrying requests finished within it."""
+    p999_ms: float = 0.0
+    """99.9th-percentile end-to-end latency (nearest rank, so on small
+    runs it coincides with the max)."""
 
     @property
     def slo_attainment(self):
@@ -232,6 +243,7 @@ class LatencyStats:
             mean_queue_ms=sum(queues) / len(queues) if queues else 0.0,
             slo_requests=len(with_slo),
             slo_met=sum(1 for r in with_slo if r.slo_met),
+            p999_ms=percentile(latencies, 99.9),
         )
 
 
@@ -259,6 +271,9 @@ class ServiceStats:
     n_preemptions: int = 0
     """Boundary preemptions of sharded jobs by deadline-critical
     requests (``coschedule`` only)."""
+    n_evictions: int = 0
+    """Autotune-cache entries the LRU bound evicted during this drain
+    (0 without a bounded cache)."""
 
     @property
     def shed_rate(self):
@@ -411,6 +426,14 @@ class InferenceService:
         explicit ``priority`` derives class 0 (deadline-critical) under
         ``coschedule``. None means only explicit priorities can reach
         class 0.
+    tracer:
+        Optional :class:`~repro.obs.tracer.RecordingTracer` collecting
+        the structured event trace of every drain (request span trees,
+        batch cuts, gang claims, backfills, preemptions, cache and
+        cluster events — all on the simulated clock). The recorded
+        stream is bit-identical for any host ``workers`` count. None
+        (default) uses the zero-overhead
+        :class:`~repro.obs.tracer.NullTracer`.
 
     Units
     -----
@@ -445,9 +468,15 @@ class InferenceService:
                  max_wait=None, shed_expired=False, reconfig_cycles=0,
                  chip_capacity=None, cluster_options=None,
                  worker_configs=None, workers=1, coschedule=False,
-                 critical_slo_ms=None):
+                 critical_slo_ms=None, tracer=None):
         check_positive_int(n_workers, "n_workers")
         self.sim_workers = check_positive_int(workers, "workers")
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        """Event sink (:mod:`repro.obs`): a
+        :class:`~repro.obs.tracer.RecordingTracer` collects the span
+        tree of every request plus scheduler/cluster/cache events on
+        the simulated clock; the default :data:`NULL_TRACER` costs one
+        attribute check per hook."""
         if cache is True:
             cache = AutotuneCache()
         if cache is not None and not isinstance(cache, AutotuneCache):
@@ -456,6 +485,8 @@ class InferenceService:
                 f"got {type(cache).__name__}"
             )
         self.cache = cache
+        if cache is not None:
+            cache.tracer = self.tracer
         self.queue = RequestQueue()
         self.max_batch = _check_max_batch(max_batch)
         self.max_wait = _check_max_wait(max_wait)
@@ -535,6 +566,7 @@ class InferenceService:
         self._screen_memo = {}
         self._drain_preemptions = 0
         self._drain_backfills = 0
+        self._last_claim = None
 
     def submit(self, request):
         """Queue one :class:`~repro.serve.request.InferenceRequest`.
@@ -568,6 +600,20 @@ class InferenceService:
         queued = self.queue.drain()
         for worker in self.workers:
             worker.free_at = 0.0
+        tr = self.tracer
+        trace = tr.enabled
+        evictions_before = (
+            self.cache.stats.evictions if self.cache is not None else 0
+        )
+        if trace:
+            tr.set_time(0.0)
+            # No host-execution knobs in the args: the deterministic
+            # stream must be identical for any ``workers`` count.
+            tr.instant("drain.begin", ts=0.0, args={
+                "queued": len(queued),
+                "n_workers": len(self.workers),
+                "coschedule": self.coschedule,
+            })
         # Parallel backend: run the cold simulations every non-sharded
         # queued request needs in the process pool up front, then let
         # the event loop replay them in its own sequential order
@@ -588,7 +634,8 @@ class InferenceService:
                 if not self._needs_sharding(item.request)
             ]
             self._presim = presimulate(
-                accels, cache=self.cache, workers=self.sim_workers
+                accels, cache=self.cache, workers=self.sim_workers,
+                tracer=tr,
             )
         # Without an explicit batch cap, bound batches so one giant
         # config group still spreads over the whole instance pool (each
@@ -600,7 +647,8 @@ class InferenceService:
         stream = StreamingScheduler(max_batch=cap, max_wait=self.max_wait,
                                     shed_expired=self.shed_expired,
                                     priorities=self.coschedule,
-                                    critical_slo_ms=self.critical_slo_ms)
+                                    critical_slo_ms=self.critical_slo_ms,
+                                    tracer=tr)
 
         results = []
         sharded = []  # FIFO of oversized requests awaiting enough chips
@@ -611,16 +659,30 @@ class InferenceService:
         self._screen_memo = {}
         self._drain_preemptions = 0
         self._drain_backfills = 0
+        self._last_claim = None
         last_snapshot = None
         started = time.perf_counter()
         while (i < n or stream.pending or stream.ready or sharded
                or any(entry.preempted for entry in self._active)):
+            if trace:
+                tr.set_time(clock)
             # Admit everything that has arrived by now. Size cuts
             # happen inside admit(), in arrival order; graphs over the
             # per-chip capacity divert to the sharded-job queue.
             while i < n and queued[i].arrival_time <= clock:
                 item = queued[i]
-                if self._needs_sharding(item.request):
+                needs_shards = self._needs_sharding(item.request)
+                if trace:
+                    args = {
+                        "seq": item.seq,
+                        "slo_ms": item.request.slo_ms,
+                        "sharded": needs_shards,
+                    }
+                    if self.coschedule:
+                        args["class"] = self._class_of(item.request)
+                    tr.instant("request.arrival", ts=item.arrival_time,
+                               args=args)
+                if needs_shards:
                     sharded.append(item)
                 else:
                     stream.admit(item, now=clock)
@@ -674,6 +736,14 @@ class InferenceService:
                     # gang assembles they take no new batch, so t_head
                     # is an upper bound, not a moving target.
                     reserved = set(head_gang)
+                    claim = (head.seq, tuple(sorted(reserved)))
+                    if trace and claim != self._last_claim:
+                        self._last_claim = claim
+                        tr.instant("gang.claim", ts=clock, args={
+                            "seq": head.seq,
+                            "members": sorted(reserved),
+                            "ready_at": t_head,
+                        })
                 if len(sharded) == 1:
                     break
                 dispatched = False
@@ -709,8 +779,15 @@ class InferenceService:
                         continue
                     gang, constrained = picked
                     sharded.pop(j)
+                    if trace:
+                        tr.instant("backfill", ts=clock, args={
+                            "seq": cand.seq,
+                            "members": sorted(w.index for w in gang),
+                            "head_seq": head.seq,
+                        })
                     self._serve_sharded(cand, gang, clock, results,
-                                        constrained=constrained)
+                                        constrained=constrained,
+                                        backfill=True)
                     self._drain_backfills += 1
                     dispatched = True
                     break
@@ -742,6 +819,13 @@ class InferenceService:
                                   stream, results)
             if self.coschedule:
                 self._process_resumes(clock, results)
+            if trace:
+                tr.counter("service.queue", ts=clock, values={
+                    "pending": stream.pending,
+                    "ready": stream.ready,
+                    "sharded": len(sharded),
+                    "active": len(self._active),
+                })
             # Advance the clock to the next event: an arrival, a
             # deadline-forced cut, an unclaimed instance freeing up, the
             # head sharded job's planned assembly, a backfill
@@ -807,9 +891,13 @@ class InferenceService:
         results.sort(key=lambda pair: pair[0])
         results = tuple(result for _seq, result in results)
         n_batches = self._n_batches - batches_before
+        evictions = (
+            self.cache.stats.evictions - evictions_before
+            if self.cache is not None else 0
+        )
         return ServeOutcome(
             results=results,
-            stats=self._stats(results, n_batches, wall),
+            stats=self._stats(results, n_batches, wall, evictions),
             workers=tuple(self.workers),
             latency=LatencyStats.from_results(results),
         )
@@ -1259,7 +1347,22 @@ class InferenceService:
         entry.grant_used = False
         entry.boundaries = []
         entry.preempted = True
+        entry.preempt_at = boundary
         self._drain_preemptions += 1
+        if self.tracer.enabled:
+            self.tracer.instant("preempt", ts=boundary, args={
+                "seq": entry.seq,
+                "grant": member.index,
+                "remaining_ms": entry.remaining * 1e3,
+            })
+            # The gang frees at the boundary: trim the running spans
+            # there; the remainder's spans are re-emitted at resume.
+            for span in entry.spans or ():
+                span.dur = max(boundary - span.ts, 0.0)
+            if entry.svc_span is not None:
+                entry.svc_span.dur = max(
+                    boundary - entry.svc_span.ts, 0.0
+                )
         return True
 
     def _process_resumes(self, clock, results):
@@ -1291,6 +1394,38 @@ class InferenceService:
             entry.grant = None
             entry.preempted = False
             entry.resumes += 1
+            if self.tracer.enabled:
+                lane = f"req/{entry.seq}"
+                self.tracer.span(
+                    "request.preempted", lane=lane,
+                    start=entry.preempt_at, end=clock,
+                    args={"seq": entry.seq},
+                )
+                entry.spans = [
+                    self.tracer.span(
+                        "sharded.resume", lane=f"worker{w.index}",
+                        start=clock, end=finish, args={"seq": entry.seq},
+                    )
+                    for w in entry.gang
+                ]
+                entry.svc_span = self.tracer.span(
+                    "request.resume", lane=lane, start=clock, end=finish,
+                    args={"seq": entry.seq},
+                )
+                entry.preempt_at = None
+                if entry.req_span is not None:
+                    entry.req_span.dur = finish - entry.req_span.ts
+                ev = entry.complete_ev
+                if ev is not None:
+                    # The recorded completion moves with the stretched
+                    # timeline, exactly as the result is patched below.
+                    ev.ts = finish
+                    e2e_ms = (finish - ev.args["arrival"]) * 1e3
+                    ev.args["finish"] = finish
+                    ev.args["e2e_ms"] = e2e_ms
+                    if ev.args.get("slo_ms") is not None:
+                        ev.args["slo_met"] = e2e_ms <= ev.args["slo_ms"]
+                    ev.args["preemptions"] = entry.resumes
             for at, (seq, result) in enumerate(results):
                 if seq == entry.seq:
                     results[at] = (seq, replace(
@@ -1302,6 +1437,12 @@ class InferenceService:
     def _shed_result(self, item, when):
         """The recorded outcome of a request shed at simulated ``when``."""
         request = item.request
+        if self.tracer.enabled:
+            self.tracer.instant("request.shed", ts=when, args={
+                "seq": item.seq,
+                "slo_ms": request.slo_ms,
+                "waited_ms": (when - request.arrival_time) * 1e3,
+            })
         return InferenceResult(
             request_id=request.request_id,
             dataset=getattr(request.graph, "name", "custom"),
@@ -1330,7 +1471,7 @@ class InferenceService:
         return start
 
     def _serve_sharded(self, item, workers, clock, results, *,
-                       constrained=True):
+                       constrained=True, backfill=False):
         """Run one oversized request as a multi-chip job on ``workers``.
 
         All participating instances gang-schedule: service starts once
@@ -1385,9 +1526,15 @@ class InferenceService:
             topology=topology, background=background,
         )
         dataset = request.resolve_graph()
+        tr = self.tracer
+        if tr.enabled:
+            # Anchor the cluster/tuner/cache events of this job at its
+            # service start on the simulated clock.
+            tr.set_time(start)
         wall_started = time.perf_counter()
         report = simulate_multichip_gcn(
-            dataset, cluster, a_hops=request.a_hops, cache=self.cache
+            dataset, cluster, a_hops=request.a_hops, cache=self.cache,
+            tracer=tr if tr.enabled else None,
         )
         elapsed = time.perf_counter() - wall_started
         service_seconds = cluster.chip.cycles_to_seconds(
@@ -1409,6 +1556,67 @@ class InferenceService:
             worker.modeled_busy_seconds += finish - clock
             worker.batches_served += 1
         self._n_batches += 1
+        result = InferenceResult(
+            request_id=request.request_id,
+            dataset=getattr(dataset, "name", "custom"),
+            fingerprint=f"{dataset_fingerprint(dataset)}@{len(workers)}chips",
+            total_cycles=report.total_cycles,
+            latency_ms=report.latency_ms,
+            utilization=report.utilization,
+            cache_hit=report.cache_hit,
+            worker=primary.index,
+            batch=-1,
+            sim_seconds=elapsed,
+            arrival_time=request.arrival_time,
+            start_time=start,
+            finish_time=finish,
+            slo_ms=request.slo_ms,
+            n_shards=len(workers),
+            priority=self._class_of(request) if self.coschedule else None,
+        )
+        member_spans = None
+        req_span = svc_span = complete_ev = None
+        if tr.enabled:
+            tr.wall("sim.sharded", seconds=elapsed,
+                    args={"seq": item.seq})
+            lane = f"req/{item.seq}"
+            member_spans = [
+                tr.span(
+                    "sharded.backfill" if backfill else "sharded",
+                    lane=f"worker{w.index}", start=clock, end=finish,
+                    args={"seq": item.seq, "n_shards": len(workers)},
+                )
+                for w in workers
+            ]
+            req_span = tr.span(
+                "request", lane=lane, start=request.arrival_time,
+                end=finish, args={"seq": item.seq},
+            )
+            tr.span(
+                "request.queue", lane=lane, start=request.arrival_time,
+                end=start, args={"seq": item.seq},
+            )
+            svc_span = tr.span(
+                "request.service", lane=lane, start=start, end=finish,
+                args={"seq": item.seq},
+            )
+            complete_ev = tr.instant("request.complete", ts=finish, args={
+                "seq": item.seq,
+                "dataset": result.dataset,
+                "cycles": report.total_cycles,
+                "utilization": float(report.utilization),
+                "cache_hit": bool(report.cache_hit),
+                "n_shards": len(workers),
+                "backfilled": backfill,
+                "arrival": request.arrival_time,
+                "start": start,
+                "finish": finish,
+                "e2e_ms": result.e2e_ms,
+                "queue_ms": result.queue_ms,
+                "slo_ms": request.slo_ms,
+                "slo_met": result.slo_met,
+                "preemptions": 0,
+            })
         if self.coschedule:
             # Register the job as an active tenant: its layer
             # boundaries are the preemption points, its per-round halo
@@ -1432,25 +1640,12 @@ class InferenceService:
                 boundaries=boundaries,
                 flows=flows,
                 constrained=constrained,
+                spans=member_spans,
+                req_span=req_span,
+                svc_span=svc_span,
+                complete_ev=complete_ev,
             ))
-        results.append((item.seq, InferenceResult(
-            request_id=request.request_id,
-            dataset=getattr(dataset, "name", "custom"),
-            fingerprint=f"{dataset_fingerprint(dataset)}@{len(workers)}chips",
-            total_cycles=report.total_cycles,
-            latency_ms=report.latency_ms,
-            utilization=report.utilization,
-            cache_hit=report.cache_hit,
-            worker=primary.index,
-            batch=-1,
-            sim_seconds=elapsed,
-            arrival_time=request.arrival_time,
-            start_time=start,
-            finish_time=finish,
-            slo_ms=request.slo_ms,
-            n_shards=len(workers),
-            priority=self._class_of(request) if self.coschedule else None,
-        )))
+        results.append((item.seq, result))
 
     def _serve_batch(self, batch, worker, clock, stream, results):
         """Run one sealed batch back-to-back on one instance.
@@ -1485,8 +1680,22 @@ class InferenceService:
             stream.observe(item.request.config, item.request.a_hops,
                            result.modeled_seconds)
             results.append((item.seq, result))
-        worker.busy_seconds += time.perf_counter() - wall_started
+        elapsed = time.perf_counter() - wall_started
+        worker.busy_seconds += elapsed
         worker.free_at = now
+        if self.tracer.enabled:
+            self.tracer.wall("sim.batch", seconds=elapsed,
+                             args={"batch": batch.index})
+            self.tracer.span(
+                "batch", lane=f"worker{worker.index}",
+                start=base_start, end=now,
+                args={
+                    "batch": batch.index,
+                    "size": len(items),
+                    "config": config_label(batch.config),
+                    "reconfig_s": start - base_start,
+                },
+            )
         # Charged from base_start, not start: the reconfiguration
         # interval keeps the instance occupied, so excluding it made
         # utilization denominators disagree with wall-clock occupancy
@@ -1504,17 +1713,25 @@ class InferenceService:
 
         request = item.request
         dataset = request.resolve_graph()
+        tr = self.tracer
+        if tr.enabled:
+            # Anchor this request's tuner/cache events (direct or
+            # spliced from a pool worker) at its service start.
+            tr.set_time(start)
         started = time.perf_counter()
         accel = GcnAccelerator(
             dataset, request.config, a_hops=request.a_hops
         )
-        report = replay_simulation(accel, self.cache, self._presim)
+        report = replay_simulation(
+            accel, self.cache, self._presim,
+            tracer=tr if tr.enabled else None,
+        )
         elapsed = time.perf_counter() - started
         worker.requests_served += 1
         service_seconds = request.config.cycles_to_seconds(
             report.total_cycles
         )
-        return InferenceResult(
+        result = InferenceResult(
             request_id=request.request_id,
             dataset=getattr(dataset, "name", "custom"),
             fingerprint=accel.fingerprint(),
@@ -1531,8 +1748,48 @@ class InferenceService:
             slo_ms=request.slo_ms,
             priority=self._class_of(request) if self.coschedule else None,
         )
+        if tr.enabled:
+            finish = result.finish_time
+            tr.wall("sim.request", seconds=elapsed,
+                    args={"seq": item.seq})
+            lane = f"req/{item.seq}"
+            tr.span(
+                "serve", lane=f"worker{worker.index}", start=start,
+                end=finish, args={"seq": item.seq, "batch": batch.index},
+            )
+            tr.span(
+                "request", lane=lane, start=request.arrival_time,
+                end=finish, args={"seq": item.seq},
+            )
+            tr.span(
+                "request.queue", lane=lane, start=request.arrival_time,
+                end=start, args={"seq": item.seq},
+            )
+            tr.span(
+                "request.service", lane=lane, start=start, end=finish,
+                args={"seq": item.seq},
+            )
+            tr.instant("request.complete", ts=finish, args={
+                "seq": item.seq,
+                "dataset": result.dataset,
+                "cycles": report.total_cycles,
+                "utilization": float(report.utilization),
+                "cache_hit": bool(report.cache_hit),
+                "n_shards": 1,
+                "batch": batch.index,
+                "worker": worker.index,
+                "arrival": request.arrival_time,
+                "start": start,
+                "finish": finish,
+                "e2e_ms": result.e2e_ms,
+                "queue_ms": result.queue_ms,
+                "slo_ms": request.slo_ms,
+                "slo_met": result.slo_met,
+                "preemptions": 0,
+            })
+        return result
 
-    def _stats(self, results, n_batches, wall):
+    def _stats(self, results, n_batches, wall, n_evictions=0):
         """Fold per-request results into :class:`ServiceStats`.
 
         Cache, cycle and utilization aggregates cover *served* requests
@@ -1558,6 +1815,7 @@ class InferenceService:
             n_sharded=n_sharded,
             n_backfilled=self._drain_backfills,
             n_preemptions=self._drain_preemptions,
+            n_evictions=n_evictions,
         )
 
 
@@ -1565,7 +1823,7 @@ def serve_requests(requests, *, n_workers=2, cache=True, max_batch=None,
                    max_wait=None, shed_expired=False, reconfig_cycles=0,
                    chip_capacity=None, cluster_options=None,
                    worker_configs=None, workers=1, coschedule=False,
-                   critical_slo_ms=None):
+                   critical_slo_ms=None, tracer=None):
     """One-shot convenience: submit ``requests``, drain, return outcome."""
     service = InferenceService(
         n_workers=n_workers, cache=cache, max_batch=max_batch,
@@ -1573,7 +1831,7 @@ def serve_requests(requests, *, n_workers=2, cache=True, max_batch=None,
         reconfig_cycles=reconfig_cycles, chip_capacity=chip_capacity,
         cluster_options=cluster_options, worker_configs=worker_configs,
         workers=workers, coschedule=coschedule,
-        critical_slo_ms=critical_slo_ms,
+        critical_slo_ms=critical_slo_ms, tracer=tracer,
     )
     service.submit_many(requests)
     return service.drain()

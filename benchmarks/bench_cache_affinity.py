@@ -1,0 +1,84 @@
+"""Cache-affinity routing sweep (``compare_cache_affinity``).
+
+Claims checked on identical Zipf repeat-heavy streaming traces served
+twice per arrival rate by the same partitioned instance pool — once
+under the historical cache-blind dispatch, once under warm-aware
+affinity routing with demand-driven hot-entry replication:
+
+(a) at *every* swept arrival rate, affinity routing improves the
+    aggregate cache hit rate AND wall-clock serving throughput, with
+    SLO attainment no worse (the sweep's verdict line asserts this
+    internally; the bench re-checks the rows);
+(b) the improvement is placement, not semantics: the sweep raises if
+    any per-request cycle count differs between the two modes;
+(c) ``cache_mode="shared"`` stays the oracle: serving a trace with the
+    explicit default kwargs is bit-identical (cycles, timestamps,
+    cache stats) to a call that never mentions the new knobs.
+
+``REPRO_AFFINITY_SMOKE=1`` shrinks the sweep to a seconds-long
+configuration (CI runs it) while asserting the same claims.
+"""
+
+import os
+
+from conftest import run_once, save_artifact
+
+from repro.analysis import compare_cache_affinity
+from repro.serve.service import serve_requests
+from repro.serve.traffic import streaming_traffic
+
+SMOKE = os.environ.get("REPRO_AFFINITY_SMOKE") == "1"
+SWEEP_KWARGS = (
+    {"n_requests": 48, "rates": (4000.0, 8000.0), "n_nodes": 2048}
+    if SMOKE else {"n_requests": 96}
+)
+
+
+def test_bench_cache_affinity(benchmark, bench_seed):
+    rows, text = run_once(
+        benchmark, compare_cache_affinity, seed=bench_seed, **SWEEP_KWARGS
+    )
+    save_artifact("cache_affinity", rows, text)
+
+    blind_rows = [r for r in rows if r["mode"] == "blind"]
+    affinity_rows = [r for r in rows if r["mode"] == "affinity"]
+    assert blind_rows and len(blind_rows) == len(affinity_rows), text
+
+    # (a) Affinity wins hit rate and throughput at every swept rate,
+    # SLO attainment no worse; the verdict line records the same.
+    for blind, affinity in zip(blind_rows, affinity_rows):
+        assert affinity["hit_rate"] > blind["hit_rate"], (blind["rate"], text)
+        assert affinity["req_per_s"] > blind["req_per_s"], (
+            blind["rate"], text,
+        )
+        assert affinity["slo_attainment"] >= blind["slo_attainment"], (
+            blind["rate"], text,
+        )
+        # Placement columns only exist (and replication only fires) in
+        # affinity mode.
+        assert blind["placement_hit_rate"] == "", text
+        assert affinity["placement_hit_rate"] != "", text
+    assert "beats cache-blind dispatch at every swept rate" in text, text
+
+    # (b) compare_cache_affinity raises on any per-request cycle
+    # mismatch between modes, so reaching here proves cycle identity.
+
+    # (c) Shared-mode identity: explicit default kwargs are a no-op.
+    requests = streaming_traffic(
+        12, arrival_rate=800.0, slo_ms=50.0, n_graphs=3, n_nodes=512,
+        seed=bench_seed,
+    )
+    for request in requests:
+        request.resolve_graph()
+    oracle = serve_requests(requests, n_workers=2, cache=True, max_batch=4)
+    explicit = serve_requests(
+        requests, n_workers=2, cache=True, max_batch=4,
+        cache_mode="shared", replicate_k=2, demand_half_life=0.05,
+    )
+    assert [(r.total_cycles, r.start_time, r.finish_time)
+            for r in oracle.results] == [
+        (r.total_cycles, r.start_time, r.finish_time)
+        for r in explicit.results
+    ]
+    assert oracle.stats.cache_hits == explicit.stats.cache_hits
+    assert oracle.stats.n_routed == explicit.stats.n_routed == 0

@@ -27,6 +27,7 @@ from repro.analysis.shardscale import (
     compare_shard_scaling,
     compare_shard_topology,
 )
+from repro.analysis.affinity import compare_cache_affinity
 from repro.analysis.mixedload import compare_mixed_load
 from repro.analysis.tracescenarios import (
     TRACE_SCENARIOS,
@@ -62,6 +63,7 @@ __all__ = [
     "compare_parallel_scaling",
     "host_cpu_count",
     "compare_rebalance",
+    "compare_cache_affinity",
     "compare_mixed_load",
     "TRACE_SCENARIOS",
     "run_trace_scenario",

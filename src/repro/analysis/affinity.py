@@ -1,0 +1,168 @@
+"""Cache-affinity routing sweep: warm-aware vs cache-blind dispatch.
+
+At millions-of-users scale the autotune warm-up is the dominant
+repeated serving cost (the cache benchmarks measure ~8.5x cached vs
+cold simulation throughput), and in a realistically *partitioned*
+deployment each instance owns its own :class:`~repro.serve.AutotuneCache`
+shard — a repeat graph landing on a cold instance pays the tuner again
+even though a warm instance idles next to it. This sweep drives
+identical Zipf repeat-heavy streaming traces
+(:func:`~repro.serve.traffic.streaming_traffic` with ``repeat_alpha``)
+through the same partitioned pool twice per arrival rate:
+
+* ``blind`` — ``cache_mode="partitioned"``: per-worker shards, but the
+  historical cache-oblivious dispatch (earliest-free, lowest index);
+* ``affinity`` — ``cache_mode="affinity"``: dispatch scores instances
+  by warm-entry coverage, waits for a warm instance only when provably
+  deadline-safe, and a sliding-window demand histogram replicates hot
+  families' entries to the least-loaded shards.
+
+Both modes run the same modeled hardware: the sweep asserts per-request
+cycle identity (a cache can change wall time, never a cycle), and the
+verdict line asserts the headline claim — at *every* swept rate,
+affinity routing improves the aggregate hit rate **and** wall-clock
+serving throughput, with SLO attainment no worse. Rows record
+per-worker hit rates and replication counts so the placement quality is
+inspectable, not inferred.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ascii_table
+from repro.errors import ConfigError
+from repro.serve.service import serve_requests
+from repro.serve.traffic import streaming_traffic
+
+
+def compare_cache_affinity(*, n_requests=96,
+                           rates=(2000.0, 4000.0, 8000.0),
+                           n_workers=4, family_size=12, repeat_alpha=1.2,
+                           n_nodes=4096, n_pes=96, max_batch=4,
+                           slo_ms=50.0, worker_cache_entries=None,
+                           replicate_threshold=3.0, replicate_k=2,
+                           seed=7, graph_kwargs=None):
+    """Run the cache-affinity routing sweep; returns ``(rows, text)``.
+
+    One Zipf repeat-heavy streaming trace per arrival rate in ``rates``
+    (requests/second; ``family_size`` graph families with popularity
+    exponent ``repeat_alpha``), served twice on an ``n_workers``
+    partitioned pool: cache-blind dispatch vs affinity routing with
+    demand-driven replication (``replicate_threshold`` windowed
+    requests, ``replicate_k`` target shards). Two rows per rate report
+    aggregate and per-worker hit rates, placement hit rate, replication
+    count, wall-clock throughput and tail latency / SLO attainment.
+    """
+    # Deferred: repro.serve.bench itself imports the analysis package
+    # (for ascii_table), so a module-level import here would be cyclic.
+    from repro.serve.bench import DEFAULT_GRAPH_KWARGS, default_serving_config
+
+    if not rates:
+        raise ConfigError("rates must be a non-empty sequence")
+    rates = tuple(float(rate) for rate in rates)
+    if any(rate <= 0 for rate in rates):
+        raise ConfigError(f"rates must be > 0, got {rates}")
+    configs = (default_serving_config(n_pes),)
+    if graph_kwargs is None:
+        graph_kwargs = dict(DEFAULT_GRAPH_KWARGS)
+
+    modes = (
+        ("blind", {"cache_mode": "partitioned"}),
+        ("affinity", {"cache_mode": "affinity",
+                      "replicate_threshold": replicate_threshold,
+                      "replicate_k": replicate_k}),
+    )
+    rows = []
+    for rate in rates:
+        requests = streaming_traffic(
+            n_requests, arrival_rate=rate, slo_ms=slo_ms,
+            n_nodes=n_nodes, seed=seed, configs=configs,
+            repeat_alpha=repeat_alpha, family_size=family_size,
+            graph_kwargs=graph_kwargs,
+        )
+        # Materialize the family pool up front so dataset construction
+        # cost never pollutes the wall-clock comparison.
+        for request in requests:
+            request.resolve_graph()
+        cycles = {}
+        for mode, kwargs in modes:
+            # serve_requests builds a fresh service (and fresh shards)
+            # per call, so both modes start cold on this trace.
+            outcome = serve_requests(
+                requests, n_workers=n_workers, cache=True,
+                max_batch=max_batch,
+                worker_cache_entries=worker_cache_entries,
+                **kwargs,
+            )
+            cycles[mode] = [r.total_cycles for r in outcome.results]
+            stats, latency = outcome.stats, outcome.latency
+            attainment = latency.slo_attainment
+            placement = stats.placement_hit_rate
+            row = {
+                "rate": rate,
+                "mode": mode,
+                "hit_rate": round(stats.hit_rate, 4),
+                "placement_hit_rate": (
+                    "" if placement is None else round(placement, 4)
+                ),
+                "n_replications": stats.n_replications,
+                "wall_s": round(stats.wall_seconds, 4),
+                "req_per_s": round(stats.requests_per_second, 2),
+                "p99_ms": round(latency.p99_ms, 4),
+                "slo_attainment": (
+                    "" if attainment is None else round(attainment, 4)
+                ),
+            }
+            for worker in outcome.workers:
+                row[f"w{worker.index}_hit_rate"] = round(
+                    worker.cache.stats.hit_rate, 4
+                )
+            rows.append(row)
+        if cycles["blind"] != cycles["affinity"]:
+            raise AssertionError(
+                f"cycle mismatch between dispatch modes at rate {rate}: "
+                "the cache may change wall time, never a modeled cycle"
+            )
+
+    worker_cols = [f"w{i}_hit_rate" for i in range(n_workers)]
+    table = ascii_table(
+        ["rate", "mode", "hit_rate", "placement", "repl", "wall (s)",
+         "req/s", "p99 (ms)", "SLO att."] + [f"w{i}" for i in
+                                             range(n_workers)],
+        [[r["rate"], r["mode"], r["hit_rate"], r["placement_hit_rate"],
+          r["n_replications"], r["wall_s"], r["req_per_s"], r["p99_ms"],
+          r["slo_attainment"]] + [r[c] for c in worker_cols]
+         for r in rows],
+        title=(
+            f"Cache-affinity routing: {n_workers}-instance partitioned "
+            f"pool, {n_requests} requests over {family_size} families "
+            f"(Zipf alpha {repeat_alpha:g}, {n_nodes} nodes, {n_pes} "
+            f"PEs), seed {seed}"
+        ),
+    )
+    text = table + "\n" + _verdict(rows)
+    return rows, text
+
+
+def _verdict(rows):
+    """The claim line under the affinity table."""
+    failures = []
+    deltas = []
+    for blind, affinity in zip(rows[0::2], rows[1::2]):
+        hit_gain = affinity["hit_rate"] > blind["hit_rate"]
+        thr_gain = affinity["req_per_s"] > blind["req_per_s"]
+        blind_att = blind["slo_attainment"]
+        affinity_att = affinity["slo_attainment"]
+        slo_ok = (blind_att == "" or affinity_att >= blind_att)
+        if not (hit_gain and thr_gain and slo_ok):
+            failures.append(blind["rate"])
+        deltas.append(round(affinity["hit_rate"] - blind["hit_rate"], 4))
+    if failures:
+        return (
+            "affinity routing FAILED to beat cache-blind dispatch at "
+            f"rate(s) {failures}"
+        )
+    return (
+        "affinity routing beats cache-blind dispatch at every swept "
+        f"rate: higher hit rate (deltas {deltas}) and throughput, SLO "
+        "attainment no worse"
+    )

@@ -4,9 +4,12 @@ Each scenario is a fully seeded ``(requests, serve_kwargs)`` pair small
 enough to replay in seconds yet rich enough that its recorded event
 stream exercises a distinct slice of the stack:
 
-* ``serve``  — streaming batch traffic under an SLO: arrivals, batch
-  cuts (size / deadline / timeout), per-worker batch spans, cache
-  hit/miss/store and per-round Eq. 5 tuner events;
+* ``serve``  — streaming batch traffic under an SLO on an
+  affinity-routed partitioned pool: arrivals, batch cuts (size /
+  deadline / timeout), per-worker batch spans, per-shard cache
+  hit/miss/store, ``cache.route``/``cache.replicate`` placement
+  events, per-worker hit-rate counters and per-round Eq. 5 tuner
+  events;
 * ``shard``  — oversized jobs on a 4-instance pool: gang scheduling,
   an EASY backfill past a blocked queue head, cluster plan /
   rebalancing / per-layer chip-utilization counters;
@@ -84,7 +87,10 @@ def trace_scenario(name, *, seed=None):
             n_nodes=512, seed=seed, configs=(config,), avg_degree=4,
             graph_kwargs=_TINY_LAYERS,
         )
-        return requests, {"n_workers": 2, "cache": True, "max_batch": 4}
+        return requests, {
+            "n_workers": 2, "cache": True, "max_batch": 4,
+            "cache_mode": "affinity", "replicate_threshold": 2.0,
+        }
     if name == "shard":
         config = ArchConfig(n_pes=16, hop=1, remote_switching=True)
         return _sharded_trio(config), {

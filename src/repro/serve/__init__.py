@@ -15,6 +15,11 @@ time with latency SLOs. This package adds that layer:
   optional LRU size bound and ``.npz`` persistence, so repeat graphs
   skip the auto-tuner warm-up via the frozen fast path of
   :func:`~repro.accel.cyclemodel.simulate_spmm_frozen`;
+* :mod:`repro.serve.demand`    — :class:`DemandHistogram`:
+  exponentially-decayed per-graph-family demand counters on the
+  simulated clock, the signal cache-affinity routing
+  (``InferenceService(cache_mode="affinity")``) uses to replicate hot
+  autotune entries across per-worker cache shards;
 * :mod:`repro.serve.service`   — the :class:`InferenceService`: an
   event-driven simulated-clock loop over a pool of simulated
   accelerator instances, with latency percentile / SLO-attainment
@@ -53,7 +58,8 @@ from repro.serve.bench import (
     compare_latency,
     default_serving_config,
 )
-from repro.serve.cache import AutotuneCache, CacheStats
+from repro.serve.cache import AutotuneCache, CacheEntryInfo, CacheStats
+from repro.serve.demand import DemandHistogram
 from repro.serve.request import InferenceRequest, InferenceResult
 from repro.serve.scheduler import (
     Batch,
@@ -85,7 +91,9 @@ __all__ = [
     "compare_latency",
     "default_serving_config",
     "AutotuneCache",
+    "CacheEntryInfo",
     "CacheStats",
+    "DemandHistogram",
     "InferenceRequest",
     "InferenceResult",
     "Batch",

@@ -1,0 +1,94 @@
+"""Sliding-window demand histograms on the simulated clock.
+
+Cache-affinity routing needs to know which graph *families* (dataset
+fingerprints) are hot **right now**, not which were hot over the whole
+trace: replication should chase the current working set and let
+yesterday's burst age out. :class:`DemandHistogram` keeps one
+exponentially-decayed counter per family — the continuous analogue of
+a sliding-window count, the same idiom LLM serving schedulers use to
+drive prefix-cache replication from observed per-prefix demand. Every
+observation first decays the counter to the observation time with
+half-life ``half_life`` (simulated seconds), then adds the
+observation's weight, so a family's demand is approximately "requests
+seen in the last ``half_life`` seconds" and the whole structure is
+deterministic: same observations at the same simulated times, same
+histogram — no wall clock anywhere.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive_finite
+
+
+class DemandHistogram:
+    """Per-family request-demand counters with exponential decay.
+
+    ``half_life`` is the decay half-life in simulated seconds: a
+    family's counter halves every ``half_life`` seconds without
+    observations. Families are kept in first-observation order, so
+    iteration (and therefore every policy built on it) is
+    deterministic.
+    """
+
+    def __init__(self, *, half_life=0.05):
+        self.half_life = check_positive_finite(half_life, "half_life")
+        # family -> [decayed weight, time of last decay]
+        self._families = {}
+
+    def __len__(self):
+        return len(self._families)
+
+    def __contains__(self, family):
+        return family in self._families
+
+    def _decayed(self, state, now):
+        weight, last = state
+        if now <= last:
+            return weight
+        return weight * 0.5 ** ((now - last) / self.half_life)
+
+    def record(self, family, now, weight=1.0):
+        """Observe ``weight`` units of demand for ``family`` at ``now``.
+
+        Decays the family's counter to ``now`` first, then adds
+        ``weight``. Returns the updated (decayed + added) demand.
+        """
+        now = float(now)
+        state = self._families.get(family)
+        if state is None:
+            state = [0.0, now]
+            self._families[family] = state
+        state[0] = self._decayed(state, now) + float(weight)
+        state[1] = max(state[1], now)
+        return state[0]
+
+    def demand(self, family, now):
+        """The family's decayed demand at ``now`` (0.0 if never seen).
+
+        Read-only: does not advance the stored decay anchor, so reads
+        at arbitrary times never perturb later arithmetic.
+        """
+        state = self._families.get(family)
+        if state is None:
+            return 0.0
+        return self._decayed(state, float(now))
+
+    def hot(self, now, *, threshold):
+        """Families whose decayed demand at ``now`` meets ``threshold``.
+
+        Returned in first-observation order (deterministic).
+        """
+        threshold = float(threshold)
+        now = float(now)
+        return [
+            family for family, state in self._families.items()
+            if self._decayed(state, now) >= threshold
+        ]
+
+    def snapshot(self, now):
+        """``{family: decayed demand at now}`` in first-observation order."""
+        now = float(now)
+        return {
+            family: self._decayed(state, now)
+            for family, state in self._families.items()
+        }

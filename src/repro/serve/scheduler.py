@@ -354,6 +354,15 @@ class StreamingScheduler:
         else:
             self._estimates[key] = 0.5 * previous + 0.5 * seconds
 
+    def estimate(self, config, a_hops):
+        """Current EWMA per-request service estimate for a group key.
+
+        0.0 before any observation — callers treating the estimate as
+        a wait budget (cache-affinity routing) therefore never wait
+        while the scheduler knows nothing.
+        """
+        return self._estimates.get((config, a_hops), 0.0)
+
     def request_class(self, request):
         """The priority class this scheduler assigns one request.
 
